@@ -1,0 +1,106 @@
+// Regenerates the paper's **"Impact on 5G"** findings (§VII-A): the SQN
+// scheme of authentication_request is identical in the 5G specifications
+// (P1/P2 carry over), and the T3555-supervised configuration-update
+// procedure has the same abort-after-five-tries discipline (P3 carries
+// over) — while SUCI concealment removes the LTE-style plaintext-identity
+// exposure. Runs against the nr/ 5G stack.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "nr/nr_stack.h"
+
+namespace {
+
+using namespace procheck;
+
+constexpr std::uint64_t kHnKey = 0x5159;
+constexpr std::uint64_t kKey = 0xFEED5;
+constexpr const char* kSupi = "001010987654321";
+
+struct FiveGRig {
+  nr::Amf amf{kHnKey};
+  nr::NrUe ue{kKey, kSupi, kHnKey};
+  FiveGRig() { amf.provision_subscriber(kSupi, kKey); }
+};
+
+void BM_FiveGRegistration(benchmark::State& state) {
+  for (auto _ : state) {
+    FiveGRig rig;
+    bool ok = nr::complete_registration(rig.ue, rig.amf);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FiveGRegistration)->Unit(benchmark::kMicrosecond);
+
+void BM_SuciConcealment(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nr::conceal_supi(kSupi, kHnKey));
+  }
+}
+BENCHMARK(BM_SuciConcealment);
+
+bool p1_carries_over(bool freshness_limit) {
+  nr::Amf amf(kHnKey);
+  nr::NrUe ue(kKey, kSupi, kHnKey, nullptr,
+              freshness_limit ? std::optional<std::uint64_t>{1} : std::nullopt);
+  amf.provision_subscriber(kSupi, kKey);
+  // Adversary elicits + captures a challenge the victim never consumes.
+  nas::NasMessage rogue(nas::MsgType::kRegistrationRequest);
+  rogue.set_s("identity", nr::conceal_supi(kSupi, kHnKey));
+  auto challenge = amf.handle_uplink(nas::encode_plain(rogue));
+  if (challenge.size() != 1) return false;
+  if (!nr::complete_registration(ue, amf)) return false;
+  if (freshness_limit) {
+    // Age the capture beyond the window.
+    for (int i = 0; i < 3; ++i) {
+      nr::exchange(ue, amf, ue.trigger_deregister());
+      if (!nr::complete_registration(ue, amf)) return false;
+    }
+  }
+  auto out = ue.handle_downlink(challenge[0]);
+  if (out.size() != 1) return false;
+  auto resp = nas::decode_payload(out[0].payload);
+  return resp && resp->type == nas::MsgType::kAuthenticationResponse;
+}
+
+int p3_transmissions_before_abort() {
+  FiveGRig rig;
+  if (!nr::complete_registration(rig.ue, rig.amf)) return -1;
+  int transmissions = static_cast<int>(rig.amf.start_configuration_update().size());
+  for (int tick = 0; tick < nr::Amf::kTimerPeriod * (nr::Amf::kMaxRetransmissions + 2);
+       ++tick) {
+    transmissions += static_cast<int>(rig.amf.tick().size());  // all dropped
+  }
+  return rig.amf.procedures_aborted() == 1 ? transmissions : -1;
+}
+
+void print_impact() {
+  TextTable t({"5G finding", "result", "paper's claim"});
+  t.add_row({"P1: stale (captured) SQN accepted by the 5G USIM",
+             p1_carries_over(false) ? "yes — vulnerable" : "no",
+             "identical Annex C scheme => 5G directly vulnerable"});
+  t.add_row({"P1 with the optional freshness limit L",
+             p1_carries_over(true) ? "still vulnerable" : "mitigated",
+             "L closes the replay window (optional, unimplemented)"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d transmissions then abort",
+                p3_transmissions_before_abort());
+  t.add_row({"P3: configuration_update_command drops (T3555)", buf,
+             "retransmitted 4 times; aborted on the 5th expiry"});
+  std::string suci = nr::conceal_supi(kSupi, kHnKey);
+  t.add_row({"SUPI exposure during registration",
+             suci.find(kSupi) == std::string::npos ? "concealed (SUCI)" : "LEAKED",
+             "5G fixes LTE-style plaintext identity exposure"});
+  std::printf("\nIMPACT ON 5G (paper §VII-A 'Impact on 5G' notes)\n%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_impact();
+  return 0;
+}

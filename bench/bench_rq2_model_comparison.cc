@@ -1,0 +1,98 @@
+// Regenerates the paper's **RQ2** comparison (§VII-B, Fig. 7): is the
+// automatically extracted model Pro^μ a refinement of LTEInspector's manual
+// LTE^μ? Prints the per-clause verdicts, the transition-mapping breakdown,
+// the model-size comparison, and the two Fig. 7 example transitions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "checker/baseline.h"
+#include "common/table.h"
+#include "extractor/extractor.h"
+#include "fsm/refinement.h"
+#include "testing/conformance.h"
+
+namespace {
+
+using namespace procheck;
+
+fsm::Fsm extract_rich(const ue::StackProfile& profile) {
+  instrument::TraceLogger trace;
+  testing::run_conformance(profile, trace);
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  return extractor::extract(trace.records(), extractor::ue_signatures(profile), opts);
+}
+
+void BM_RefinementCheck(benchmark::State& state) {
+  fsm::Fsm pro = extract_rich(ue::StackProfile::cls());
+  fsm::Fsm lte = checker::lteinspector_ue_model();
+  for (auto _ : state) {
+    fsm::RefinementReport r =
+        fsm::check_refinement(lte, pro, checker::lteinspector_state_map());
+    benchmark::DoNotOptimize(r.refines);
+  }
+}
+BENCHMARK(BM_RefinementCheck)->Unit(benchmark::kMillisecond);
+
+void BM_ModelExtraction(benchmark::State& state) {
+  instrument::TraceLogger trace;
+  testing::run_conformance(ue::StackProfile::cls(), trace);
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  for (auto _ : state) {
+    fsm::Fsm m = extractor::extract(trace.records(),
+                                    extractor::ue_signatures(ue::StackProfile::cls()), opts);
+    benchmark::DoNotOptimize(m.stats().transitions);
+  }
+  state.counters["log_records"] = static_cast<double>(trace.records().size());
+}
+BENCHMARK(BM_ModelExtraction)->Unit(benchmark::kMillisecond);
+
+void print_rq2() {
+  fsm::Fsm lte = checker::lteinspector_ue_model();
+
+  TextTable sizes({"Model", "states", "transitions", "conditions", "actions", "refines LTE^u"});
+  for (const auto& profile :
+       {ue::StackProfile::cls(), ue::StackProfile::srsue(), ue::StackProfile::oai()}) {
+    fsm::Fsm pro = extract_rich(profile);
+    fsm::RefinementReport r =
+        fsm::check_refinement(lte, pro, checker::lteinspector_state_map());
+    auto s = pro.stats();
+    sizes.add_row({"Pro^u (" + profile.name + ")", std::to_string(s.states),
+                   std::to_string(s.transitions), std::to_string(s.conditions),
+                   std::to_string(s.actions), r.refines ? "yes" : "NO"});
+  }
+  auto ls = lte.stats();
+  sizes.add_rule();
+  sizes.add_row({"LTE^u (manual)", std::to_string(ls.states), std::to_string(ls.transitions),
+                 std::to_string(ls.conditions), std::to_string(ls.actions), "-"});
+  std::printf("\nRQ2: Model comparison, extracted Pro^u vs manual LTE^u (paper §VII-B)\n%s\n",
+              sizes.render().c_str());
+
+  fsm::Fsm pro = extract_rich(ue::StackProfile::cls());
+  fsm::RefinementReport r = fsm::check_refinement(lte, pro, checker::lteinspector_state_map());
+  std::printf("Refinement verdict for the closed-source profile:\n%s\n", r.summary().c_str());
+
+  // Fig. 7's two worked examples.
+  std::printf("FIGURE 7 examples (transition refinement):\n");
+  for (const fsm::TransitionMapping& tm : r.transition_mappings) {
+    bool is_smc = tm.abstract.conditions.count("security_mode_command") > 0;
+    bool is_detach = tm.abstract.conditions.count("detach_request") > 0 &&
+                     tm.abstract.actions.count("detach_accept") > 0;
+    if (!is_smc && !is_detach) continue;
+    std::printf("  (%s) LTEInspector: %s\n", is_smc ? "i" : "ii", tm.abstract.label().c_str());
+    for (const fsm::Transition& t : tm.refined) {
+      std::printf("        ProChecker:  %s\n", t.label().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_rq2();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Regenerates **Table I** of the paper: the attack-detection matrix of the
+// full ProChecker pipeline (conformance execution → model extraction →
+// threat instrumentation → MC ⇄ CPV CEGAR over 62 properties) across the
+// three analyzed implementations.
+//
+// Expected shape (paper §VII-A): 3 new protocol attacks (P1–P3) on every
+// implementation, implementation issues distributed as ● srs {I1,I3,I4},
+// ● oai {I1,I2,I5}, ● both {I6}, and the applicable 12 of 14 prior attacks
+// rediscovered everywhere ("-" rows: TMSI-reallocation linkability and the
+// tracking_area_reject downgrade, procedures the stacks do not implement).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "checker/prochecker.h"
+#include "common/table.h"
+
+namespace {
+
+using procheck::checker::ImplementationReport;
+using procheck::checker::ProChecker;
+using procheck::ue::StackProfile;
+
+std::map<std::string, ImplementationReport>& reports() {
+  static std::map<std::string, ImplementationReport> r;
+  return r;
+}
+
+void BM_FullPipeline(benchmark::State& state, StackProfile profile) {
+  for (auto _ : state) {
+    ImplementationReport rep = ProChecker::analyze(profile);
+    state.counters["properties"] = static_cast<double>(rep.results.size());
+    state.counters["attacks"] = rep.attack_count();
+    state.counters["fsm_states"] = static_cast<double>(rep.checking_model.stats().states);
+    state.counters["fsm_transitions"] =
+        static_cast<double>(rep.checking_model.stats().transitions);
+    state.counters["log_records"] = static_cast<double>(rep.log_records);
+    reports()[profile.name] = std::move(rep);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_FullPipeline, cls, StackProfile::cls())
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_FullPipeline, srsue, StackProfile::srsue())
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_FullPipeline, oai, StackProfile::oai())
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+struct Row {
+  const char* attack_id;
+  const char* name;
+  const char* property_type;
+  const char* implication;
+  const char* vulnerability_type;
+};
+
+constexpr Row kNewAttacks[] = {
+    {"P1", "(P1) Service disruption using authentication_request", "Security",
+     "Service disruption", "Standards"},
+    {"P2", "(P2) Linkability using authentication_response", "Privacy",
+     "Location privacy leakage", "Standards"},
+    {"P3", "(P3) Selective service dropping", "Security",
+     "Surreptitious service disruption", "Standards"},
+    {"I1", "(I1) Broken replay protection with all protected messages", "Security",
+     "Broken replay protection", "Implementation"},
+    {"I2", "(I2) Broken integrity, confidentiality (plain after context)",
+     "Security-Privacy", "Integrity, encryption broken", "Implementation"},
+    {"I3", "(I3) Counter-reset with replayed authentication_request", "Security",
+     "Breaks replay protection", "Implementation"},
+    {"I4", "(I4) Security bypass with reject messages", "Security", "Security bypass",
+     "Implementation"},
+    {"I5", "(I5) Privacy leakage with identity request", "Privacy", "IMSI leaking",
+     "Implementation"},
+    {"I6", "(I6) Linkability with security_mode_command", "Privacy", "Location tracking",
+     "Implementation"},
+};
+
+constexpr Row kPriorAttacks[] = {
+    {"PR01", "Authentication sync. failure [LTEInspector]", "Security", "Denial of Service",
+     "Standards"},
+    {"PR02", "Stealthy kicking-off [LTEInspector]", "Security",
+     "Detaching victim surreptitiously", "Standards"},
+    {"PR03", "Panic attack [LTEInspector]", "Security", "Creating artificial chaos",
+     "Standards"},
+    {"PR04", "Linkability using TMSI_reallocation [Arapinis et al.]", "Privacy",
+     "Location privacy leak", "Standards"},
+    {"PR05", "Linkability IMSI to GUTI using paging_request [Arapinis et al.]", "Privacy",
+     "Location privacy leak", "Standards"},
+    {"PR06", "Linkability using auth_sync_failure [Arapinis et al.]", "Privacy",
+     "Location privacy leak", "Standards"},
+    {"PR07", "Authentication relay [LTEInspector]", "Security-Privacy",
+     "DoS, location history poisoning", "Standards"},
+    {"PR08", "Numb attack [LTEInspector]", "Security", "Prolonged DoS, battery depletion",
+     "Standards"},
+    {"PR09", "Downgrade using tracking_area_reject [Shaik et al.]", "Security", "DoS",
+     "Standards"},
+    {"PR10", "Denial of all services [Shaik et al.]", "Security", "DoS", "Standards"},
+    {"PR11", "Paging hijacking [LTEInspector]", "Security", "Stealthy DoS, panic",
+     "Standards"},
+    {"PR12", "Detach/Downgrade [LTEInspector]", "Security", "DoS, battery depletion",
+     "Standards"},
+    {"PR13", "Service Denial [LTEInspector]", "Security", "DoS", "Standards"},
+    {"PR14", "Linkability (GUTI/TMSI) [LTEInspector]", "Privacy", "Location Tracking",
+     "Standards"},
+};
+
+std::string mark(const ImplementationReport& rep, const std::string& attack_id) {
+  // "●" detected, "○" not detected, "-" not applicable.
+  for (const auto& r : rep.results) {
+    if (r.attack_id == attack_id &&
+        r.status == procheck::checker::PropertyResult::Status::kNotApplicable) {
+      return "-";
+    }
+  }
+  return rep.attacks_found.count(attack_id) > 0 ? "yes" : "no";
+}
+
+void print_table1() {
+  const ImplementationReport& cls = reports().at("cls");
+  const ImplementationReport& srs = reports().at("srsue");
+  const ImplementationReport& oai = reports().at("oai");
+
+  procheck::TextTable t(
+      {"Attack", "Property Type", "Implication", "Vuln. Type", "closed-src", "srsLTE", "OAI"});
+  t.add_section("New Attacks");
+  for (const Row& row : kNewAttacks) {
+    t.add_row({row.name, row.property_type, row.implication, row.vulnerability_type,
+               mark(cls, row.attack_id), mark(srs, row.attack_id), mark(oai, row.attack_id)});
+  }
+  t.add_section("Previous Attacks");
+  for (const Row& row : kPriorAttacks) {
+    t.add_row({row.name, row.property_type, row.implication, row.vulnerability_type,
+               mark(cls, row.attack_id), mark(srs, row.attack_id), mark(oai, row.attack_id)});
+  }
+  std::printf("\nTABLE I: Attacks detected by ProChecker (paper Table I)\n%s\n",
+              t.render().c_str());
+
+  std::printf("Summary (paper abstract: 3 new protocol attacks, 6 implementation issues,"
+              " 14 prior attacks):\n");
+  for (const auto& [name, rep] : reports()) {
+    std::printf(
+        "  %-6s: %2d/62 properties violated, %2d verified, %d n/a | conformance %d/%d,"
+        " handler coverage %.0f%%\n",
+        name.c_str(), rep.attack_count(), rep.verified_count(), rep.not_applicable_count(),
+        rep.conformance.passed(), rep.conformance.total(),
+        rep.conformance.handler_coverage * 100);
+  }
+  std::set<std::string> impl_issues;
+  for (const auto& [name, rep] : reports()) {
+    for (const std::string& id : rep.attacks_found) {
+      if (id[0] == 'I') impl_issues.insert(id);
+    }
+  }
+  std::printf("  distinct new protocol attacks: P1 P2 P3 | implementation issues found: ");
+  for (const std::string& id : impl_issues) std::printf("%s ", id.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table1();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Implementation audit: the full 62-property ProChecker run over all three
+// stack profiles — the workflow a vendor would integrate into functional
+// testing (the paper's motivating use case). Prints the per-implementation
+// findings grouped by Table I rows.
+//
+// Build & run:  ./build/examples/implementation_audit   (takes a few minutes)
+#include <cstdio>
+#include <map>
+
+#include "checker/prochecker.h"
+#include "checker/report.h"
+#include "common/table.h"
+
+using namespace procheck;
+using checker::PropertyResult;
+
+namespace {
+
+const char* status_str(PropertyResult::Status s) {
+  switch (s) {
+    case PropertyResult::Status::kVerified:
+      return "verified";
+    case PropertyResult::Status::kAttack:
+      return "ATTACK";
+    case PropertyResult::Status::kNotApplicable:
+      return "n/a";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::map<std::string, checker::ImplementationReport> reports;
+  for (const auto& profile :
+       {ue::StackProfile::cls(), ue::StackProfile::srsue(), ue::StackProfile::oai()}) {
+    std::printf("analyzing %s (conformance -> extraction -> 62-property CEGAR)...\n",
+                profile.name.c_str());
+    reports[profile.name] = checker::ProChecker::analyze(profile);
+  }
+  std::printf("\n");
+
+  // Per-implementation summaries.
+  for (const auto& [name, rep] : reports) {
+    std::printf("=== %s ===\n", name.c_str());
+    std::printf("conformance: %d/%d passed, handler coverage %.0f%% | log: %zu records |"
+                " extraction: %.3fs\n",
+                rep.conformance.passed(), rep.conformance.total(),
+                rep.conformance.handler_coverage * 100, rep.log_records,
+                rep.extraction_seconds);
+    auto s = rep.checking_model.stats();
+    std::printf("checking model: %zu states, %zu transitions, %zu conditions | substate"
+                " model: %zu states, %zu transitions\n",
+                s.states, s.transitions, s.conditions, rep.extracted.stats().states,
+                rep.extracted.stats().transitions);
+    std::printf("verdicts: %d verified, %d attacks, %d not applicable\n",
+                rep.verified_count(), rep.attack_count(), rep.not_applicable_count());
+    std::printf("Table I rows detected: ");
+    for (const std::string& id : rep.attacks_found) std::printf("%s ", id.c_str());
+    std::printf("\n\n");
+  }
+
+  // Property-by-property matrix.
+  TextTable t({"Property", "Type", "Row", "closed-src", "srsLTE", "OAI"});
+  const auto& cls = reports.at("cls");
+  const auto& srs = reports.at("srsue");
+  const auto& oai = reports.at("oai");
+  for (std::size_t i = 0; i < cls.results.size(); ++i) {
+    const PropertyResult& c = cls.results[i];
+    // Only show rows where at least one implementation is non-verified.
+    if (c.status == PropertyResult::Status::kVerified &&
+        srs.results[i].status == PropertyResult::Status::kVerified &&
+        oai.results[i].status == PropertyResult::Status::kVerified) {
+      continue;
+    }
+    const checker::PropertyDef& def = checker::property_catalog()[i];
+    t.add_row({c.property_id,
+               def.type == checker::PropertyDef::Type::kSecurity ? "sec" : "priv",
+               c.attack_id.empty() ? "-" : c.attack_id, status_str(c.status),
+               status_str(srs.results[i].status), status_str(oai.results[i].status)});
+  }
+  std::printf("Findings matrix (verified-everywhere properties omitted):\n%s\n",
+              t.render().c_str());
+
+  std::printf("Legend: ATTACK = realizable counterexample confirmed by the cryptographic\n"
+              "verifier (and, for linkability rows, by the observational-equivalence\n"
+              "query); n/a = the stacks do not implement the targeted procedure.\n\n");
+
+  // Markdown rendering of the same matrix (what the CI/report integration
+  // would publish).
+  std::printf("Markdown findings matrix:\n%s\n",
+              checker::render_findings_matrix(
+                  {&reports.at("cls"), &reports.at("srsue"), &reports.at("oai")})
+                  .c_str());
+  return 0;
+}

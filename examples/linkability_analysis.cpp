@@ -1,0 +1,99 @@
+// Linkability analysis: the P2 attack (paper Fig. 6) — the observational-
+// equivalence query on the extracted model, then confirmation on a live
+// multi-UE cell: the adversary's fake base station replays a captured
+// challenge to every device; only the victim answers with
+// authentication_response, the rest answer MAC failure.
+//
+// Build & run:  ./build/examples/linkability_analysis
+#include <cstdio>
+
+#include "checker/prochecker.h"
+#include "cpv/lte_crypto.h"
+#include "testing/conformance.h"
+#include "testing/testbed.h"
+
+using namespace procheck;
+
+int main() {
+  std::printf("=== P2: Linkability using authentication_response (paper Fig. 6) ===\n\n");
+
+  // --- Model-level: the ProVerif-style distinguishability query -------------
+  std::printf("--- Phase 1: observational-equivalence query on the extracted model ---\n");
+  checker::AnalysisOptions options;
+  options.only_properties = {"P01", "P06", "P03"};
+  checker::ImplementationReport rep =
+      checker::ProChecker::analyze(ue::StackProfile::cls(), options);
+  for (const checker::PropertyResult& r : rep.results) {
+    std::printf("%s: %s\n", r.property_id.c_str(),
+                r.status == checker::PropertyResult::Status::kAttack
+                    ? "ATTACK (distinguishable)"
+                    : "verified");
+    if (r.equivalence) std::printf("   %s\n", r.equivalence->reason.c_str());
+  }
+  std::printf("\n");
+
+  // --- Testbed: a cell with three devices -----------------------------------
+  std::printf("--- Phase 2: live cell with 3 UEs; replay the victim's challenge ---\n");
+  testing::Testbed tb;
+  int victim = tb.add_ue(ue::StackProfile::cls(), "001010000000001", 0xA11CE);
+  int ue2 = tb.add_ue(ue::StackProfile::cls(), "001010000000002", 0xB0B);
+  int ue3 = tb.add_ue(ue::StackProfile::cls(), "001010000000003", 0xCAA01);
+  for (int conn : {victim, ue2, ue3}) {
+    if (!testing::complete_attach(tb, conn)) {
+      std::printf("attach failed for conn %d\n", conn);
+      return 1;
+    }
+  }
+  std::printf("3 UEs attached (GUTIs: %s, %s, %s)\n", tb.ue(victim).guti().c_str(),
+              tb.ue(ue2).guti().c_str(), tb.ue(ue3).guti().c_str());
+
+  auto captured = testing::capture_dropped_challenge(tb, victim);
+  if (!captured) {
+    std::printf("challenge capture failed\n");
+    return 1;
+  }
+  std::printf("adversary captured a challenge bound to the victim's USIM.\n\n");
+
+  std::printf("fake base station replays the challenge to every UE in the cell:\n");
+  for (int conn : {victim, ue2, ue3}) {
+    auto out = tb.ue(conn).handle_downlink(*captured);
+    std::string response = "(silent)";
+    if (!out.empty()) {
+      auto msg = nas::decode_payload(out[0].payload);
+      if (msg) {
+        response = std::string(standard_name(msg->type));
+        if (msg->has("cause")) response += " cause=" + msg->get_s("cause");
+      }
+    }
+    std::printf("  %s UE %d (imsi %s): %s\n", conn == victim ? "victim " : "other  ", conn,
+                tb.ue(conn).imsi().c_str(), response.c_str());
+  }
+  std::printf("\nThe victim is uniquely identified by its authentication_response — its\n"
+              "presence in this cell is confirmed without knowing IMSI<->GUTI mappings.\n");
+
+  std::printf("\n--- Phase 3: the mitigation (Annex C.2.2 freshness limit L) ---\n");
+  testing::Testbed tb2;
+  ue::StackProfile mitigated = ue::StackProfile::cls();
+  mitigated.sqn_freshness_limit = 1;
+  int v2 = tb2.add_ue(mitigated, "001010000000001", 0xA11CE);
+  testing::complete_attach(tb2, v2);
+  auto captured2 = testing::capture_dropped_challenge(tb2, v2);
+  if (captured2) {
+    // Age the capture beyond the window.
+    for (int i = 0; i < 2; ++i) {
+      tb2.ue_detach(v2);
+      tb2.run_until_quiet();
+      tb2.power_on(v2);
+      tb2.run_until_quiet();
+    }
+    auto out = tb2.ue(v2).handle_downlink(*captured2);
+    std::string response = "(silent)";
+    if (!out.empty()) {
+      auto msg = nas::decode_payload(out[0].payload);
+      if (msg) response = std::string(standard_name(msg->type)) + " cause=" + msg->get_s("cause");
+    }
+    std::printf("victim with L=1 answers the stale challenge with: %s\n", response.c_str());
+    std::printf("=> same failure class as every other UE: the cell is no longer linkable.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Quickstart: the paper's Fig. 3 running example, end to end.
+//
+//   1. Instrument a Fig. 3-style source file with the source-to-source
+//      instrumentor (what you would run on an external codebase).
+//   2. Execute one conformance test case against the live (pre-instrumented)
+//      UE stack to produce the information-rich log of Fig. 3(d).
+//   3. Run the model extractor (Algorithm 1 and the substate-aware variant)
+//      on the log.
+//   4. Print the extracted FSM and its Graphviz rendering.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "extractor/extractor.h"
+#include "instrument/source_instrumentor.h"
+#include "testing/conformance.h"
+
+using namespace procheck;
+
+namespace {
+
+constexpr const char* kFig3Header = R"(
+// Global protocol state (the instrumentor harvests these).
+int emm_state;
+)";
+
+constexpr const char* kFig3Source = R"(
+void air_msg_handler(msg_t* msg) {
+  int msg_type = parse_type(msg);
+  if (msg_type == ATTACH_ACCEPT) {
+    recv_attach_accept(msg);
+  }
+}
+
+void recv_attach_accept(msg_t* msg) {
+  int mac_valid = check_mac(msg);
+  if (!mac_valid) {
+    return;
+  }
+  emm_state = UE_REGISTERED;
+  send_attach_complete();
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("=== ProChecker quickstart: Fig. 3 running example ===\n\n");
+
+  // (1) Source-level instrumentation of an external codebase.
+  std::printf("--- Step 1: instrument the source (paper Fig. 3(a-c)) ---\n");
+  auto globals = instrument::harvest_globals(kFig3Header);
+  std::printf("globals harvested from the header: ");
+  for (const auto& g : globals) std::printf("%s ", g.c_str());
+  std::printf("\n");
+  auto instrumented = instrument::instrument_source(kFig3Source, globals);
+  std::printf("instrumented %d functions (%d enter probes, %d global probes, %d local"
+              " probes)\n%s\n",
+              instrumented.stats.functions_instrumented, instrumented.stats.enter_probes,
+              instrumented.stats.global_probes, instrumented.stats.local_probes,
+              instrumented.text.c_str());
+
+  // (2) Execute the conformance suite against the in-repo stack to get the
+  // information-rich log.
+  std::printf("--- Step 2: run the conformance suite on the instrumented stack ---\n");
+  instrument::TraceLogger trace;
+  ue::StackProfile profile = ue::StackProfile::cls();
+  testing::ConformanceReport report = testing::run_conformance(profile, trace);
+  std::printf("%d/%d conformance cases passed, handler coverage %.0f%%, %zu log records\n\n",
+              report.passed(), report.total(), report.handler_coverage * 100,
+              trace.records().size());
+
+  std::printf("log excerpt (the Fig. 3(d) dialect):\n");
+  int shown = 0;
+  for (const instrument::LogRecord& rec : trace.records()) {
+    if (shown++ >= 12) break;
+    std::printf("  %s\n", instrument::render(rec).c_str());
+  }
+  std::printf("  ...\n\n");
+
+  // (3) Model extraction.
+  std::printf("--- Step 3: extract the FSM (Algorithm 1) ---\n");
+  extractor::Signatures sigs = extractor::ue_signatures(profile);
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  fsm::Fsm machine = extractor::extract(trace.records(), sigs, opts);
+  auto stats = machine.stats();
+  std::printf("extracted FSM: %zu states, %zu transitions, %zu condition atoms, %zu action"
+              " atoms\n\n",
+              stats.states, stats.transitions, stats.conditions, stats.actions);
+
+  std::printf("sample transitions:\n");
+  int count = 0;
+  for (const fsm::Transition& t : machine.transitions()) {
+    if (count++ >= 8) break;
+    std::printf("  %s\n", t.label().c_str());
+  }
+  std::printf("  ...\n\n");
+
+  // (4) Graphviz export (the paper's model-generator input language).
+  std::printf("--- Step 4: Graphviz rendering (pipe into `dot -Tpng`) ---\n");
+  std::string dot = machine.to_dot("ue_" + profile.name);
+  std::printf("%.600s...\n(%zu bytes total)\n", dot.c_str(), dot.size());
+  return 0;
+}

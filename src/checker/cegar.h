@@ -1,0 +1,56 @@
+// The CEGAR-style verification loop of the paper (§III-E / §IV-B):
+//
+//   1. model check IMP^μ against the property;
+//   2. if a counterexample is produced, submit every adversary-dependent
+//      step (consumption of a replayed/fabricated message) to the
+//      cryptographic protocol verifier;
+//   3. if some step is infeasible, refine: ban that adversary action and
+//      re-check (the "invariant added to the property" of §VI);
+//   4. if all steps are feasible — and, for linkability properties, the
+//      observational-equivalence query confirms distinguishability — report
+//      the counterexample as a realizable attack.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/property.h"
+#include "cpv/lte_crypto.h"
+#include "fsm/fsm.h"
+#include "mc/checker.h"
+#include "threat/compose.h"
+
+namespace procheck::checker {
+
+struct PropertyResult {
+  enum class Status { kVerified, kAttack, kNotApplicable };
+  Status status = Status::kVerified;
+  std::string property_id;
+  std::string attack_id;  // from the property definition
+
+  std::optional<mc::CounterExample> counterexample;  // kAttack only
+  /// CEGAR refinements applied: "banned <command-label>: <reason>".
+  std::vector<std::string> refinements;
+  /// Set for linkability properties (whether or not it confirmed).
+  std::optional<cpv::EquivalenceVerdict> equivalence;
+
+  int iterations = 0;       // MC runs (1 = no refinement needed)
+  double total_seconds = 0; // cumulative MC time
+  mc::CheckStats last_stats;
+  std::string note;  // human-readable outcome detail
+};
+
+struct CegarOptions {
+  std::size_t max_states = 400000;
+  int max_iterations = 16;
+};
+
+/// Runs the full MC ⇄ CPV loop for one property. `ue_fsm` is the extracted
+/// machine used for observational-equivalence queries.
+PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_fsm,
+                              const PropertyDef& prop, const cpv::LteCryptoModel& crypto,
+                              const CegarOptions& options = {});
+
+}  // namespace procheck::checker

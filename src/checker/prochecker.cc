@@ -1,0 +1,85 @@
+#include "checker/prochecker.h"
+
+#include <chrono>
+
+#include "checker/baseline.h"
+
+namespace procheck::checker {
+
+int ImplementationReport::verified_count() const {
+  int n = 0;
+  for (const PropertyResult& r : results) {
+    n += r.status == PropertyResult::Status::kVerified ? 1 : 0;
+  }
+  return n;
+}
+
+int ImplementationReport::attack_count() const {
+  int n = 0;
+  for (const PropertyResult& r : results) {
+    n += r.status == PropertyResult::Status::kAttack ? 1 : 0;
+  }
+  return n;
+}
+
+int ImplementationReport::not_applicable_count() const {
+  int n = 0;
+  for (const PropertyResult& r : results) {
+    n += r.status == PropertyResult::Status::kNotApplicable ? 1 : 0;
+  }
+  return n;
+}
+
+threat::ThreatModel ProChecker::build_threat_model(const fsm::Fsm& ue_fsm) {
+  return threat::compose(ue_fsm, lteinspector_mme_model());
+}
+
+ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
+                                         const AnalysisOptions& options) {
+  ImplementationReport report;
+  report.profile_name = profile.name;
+
+  // (1) Instrumented conformance execution → information-rich log.
+  instrument::TraceLogger trace;
+  report.conformance = testing::run_conformance(profile, trace);
+  report.log_records = trace.records().size();
+
+  // (2) Model extraction (both the substate-aware machine and the flat
+  // predicate machine the checker consumes).
+  extractor::Signatures sigs = extractor::ue_signatures(profile);
+  extractor::ExtractionOptions rich_opts;
+  rich_opts.initial_state = "EMM_DEREGISTERED";
+  auto t0 = std::chrono::steady_clock::now();
+  report.extracted = extractor::extract(trace.records(), sigs, rich_opts);
+  extractor::ExtractionOptions flat_opts = rich_opts;
+  flat_opts.chain_substates = false;
+  report.checking_model = extractor::extract_basic(trace.records(), sigs, flat_opts);
+  report.extraction_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // (3) Threat instrumentation: IMP^μ = UE^μ ⊗ MME^μ ⊗ Dolev–Yao.
+  threat::ThreatModel tm = build_threat_model(report.checking_model);
+
+  // (4) MC ⇄ CPV over the property catalog.
+  cpv::LteCryptoModel::Options crypto_options;
+  crypto_options.usim_freshness_limit = profile.sqn_freshness_limit.has_value();
+  cpv::LteCryptoModel crypto(crypto_options);
+
+  CegarOptions cegar;
+  cegar.max_states = options.max_states;
+  cegar.max_iterations = options.max_cegar_iterations;
+
+  for (const PropertyDef& prop : property_catalog()) {
+    if (!options.only_properties.empty() && options.only_properties.count(prop.id) == 0) {
+      continue;
+    }
+    PropertyResult r = check_property(tm, report.checking_model, prop, crypto, cegar);
+    if (r.status == PropertyResult::Status::kAttack && !r.attack_id.empty()) {
+      report.attacks_found.insert(r.attack_id);
+    }
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace procheck::checker

@@ -1,0 +1,33 @@
+// Report rendering: turns an ImplementationReport (and cross-implementation
+// comparisons) into human-readable text/markdown — what a vendor integrating
+// ProChecker into functional testing would read, and what the audit example
+// and the CLI print.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checker/prochecker.h"
+#include "threat/compose.h"
+
+namespace procheck::checker {
+
+struct ReportOptions {
+  bool include_traces = false;       // append counterexample traces
+  bool include_verified = false;     // list verified properties too
+  bool include_conformance = true;   // conformance pass/fail section
+};
+
+/// One-implementation report (markdown).
+std::string render_report(const ImplementationReport& report,
+                          const ReportOptions& options = ReportOptions());
+
+/// Cross-implementation findings matrix (markdown table): one row per
+/// property where at least one implementation is non-verified.
+std::string render_findings_matrix(const std::vector<const ImplementationReport*>& reports);
+
+/// Short status word for a verdict.
+std::string to_string(PropertyResult::Status status);
+
+}  // namespace procheck::checker

@@ -1,0 +1,216 @@
+// prochecker — command-line driver for the full pipeline.
+//
+// Subcommands:
+//   instrument <source-file> [--header <header-file>]
+//       Source-to-source instrumentation of an external codebase (prints
+//       the instrumented translation unit).
+//   conformance --profile <cls|srsue|oai> [--log <file>]
+//       Runs the conformance suite against the selected stack and writes
+//       the information-rich execution log.
+//   extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]
+//       Extracts the FSM (from a log file, or from a fresh conformance run
+//       when --log is omitted) and prints its statistics or DOT rendering.
+//   analyze --profile <cls|srsue|oai> [--properties S01,P01,...]
+//           [--freshness-limit <L>]
+//       The end-to-end 62-property analysis; prints verdicts and attack
+//       traces.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/prochecker.h"
+#include "common/strings.h"
+#include "extractor/extractor.h"
+#include "instrument/source_instrumentor.h"
+#include "testing/conformance.h"
+
+namespace {
+
+using namespace procheck;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: prochecker <instrument|conformance|extract|analyze> [options]\n"
+               "  instrument <source-file> [--header <header-file>]\n"
+               "  conformance --profile <cls|srsue|oai> [--log <file>]\n"
+               "  extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]\n"
+               "  analyze --profile <cls|srsue|oai> [--properties <ids>]"
+               " [--freshness-limit <L>]\n");
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::optional<ue::StackProfile> profile_by_name(const std::string& name) {
+  if (name == "cls") return ue::StackProfile::cls();
+  if (name == "srsue") return ue::StackProfile::srsue();
+  if (name == "oai") return ue::StackProfile::oai();
+  return std::nullopt;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args args;
+    for (int i = from; i < argc; ++i) {
+      std::string a = argv[i];
+      if (starts_with(a, "--")) {
+        std::string key = a.substr(2);
+        if (key == "dot" || key == "basic" || key == "traces" || key == "dot-traces") {
+          args.options[key] = "1";
+        } else if (i + 1 < argc) {
+          args.options[key] = argv[++i];
+        }
+      } else {
+        args.positional.push_back(std::move(a));
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& dflt = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+int cmd_instrument(const Args& args) {
+  if (args.positional.empty()) return usage();
+  auto source = read_file(args.positional[0]);
+  if (!source) {
+    std::fprintf(stderr, "cannot read %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  std::vector<std::string> globals;
+  if (args.has("header")) {
+    auto header = read_file(args.get("header"));
+    if (!header) {
+      std::fprintf(stderr, "cannot read %s\n", args.get("header").c_str());
+      return 1;
+    }
+    globals = instrument::harvest_globals(*header);
+  }
+  auto out = instrument::instrument_source(*source, globals);
+  std::fprintf(stderr, "instrumented %d functions (%d enter, %d global, %d local probes)\n",
+               out.stats.functions_instrumented, out.stats.enter_probes,
+               out.stats.global_probes, out.stats.local_probes);
+  std::printf("%s", out.text.c_str());
+  return 0;
+}
+
+int cmd_conformance(const Args& args) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+  instrument::TraceLogger trace;
+  testing::ConformanceReport report = testing::run_conformance(*profile, trace);
+  for (const testing::TestResult& r : report.results) {
+    std::printf("%-18s %s\n", r.id.c_str(), r.passed ? "PASS" : "FAIL");
+  }
+  std::printf("%d/%d passed, handler coverage %.0f%%, %zu log records\n", report.passed(),
+              report.total(), report.handler_coverage * 100, trace.records().size());
+  if (args.has("log")) {
+    std::ofstream out(args.get("log"));
+    out << trace.text();
+    std::printf("log written to %s\n", args.get("log").c_str());
+  }
+  return 0;
+}
+
+int cmd_extract(const Args& args) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+
+  std::string log_text;
+  if (args.has("log")) {
+    auto text = read_file(args.get("log"));
+    if (!text) {
+      std::fprintf(stderr, "cannot read %s\n", args.get("log").c_str());
+      return 1;
+    }
+    log_text = std::move(*text);
+  } else {
+    instrument::TraceLogger trace;
+    testing::run_conformance(*profile, trace);
+    log_text = trace.text();
+  }
+
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  opts.chain_substates = !args.has("basic");
+  fsm::Fsm m = args.has("basic")
+                   ? extractor::extract_basic(instrument::parse_log(log_text),
+                                              extractor::ue_signatures(*profile), opts)
+                   : extractor::extract(log_text, extractor::ue_signatures(*profile), opts);
+  if (args.has("dot")) {
+    std::printf("%s", m.to_dot("ue_" + profile->name).c_str());
+    return 0;
+  }
+  auto s = m.stats();
+  std::printf("FSM: %zu states, %zu transitions, %zu conditions, %zu actions\n", s.states,
+              s.transitions, s.conditions, s.actions);
+  for (const fsm::Transition& t : m.transitions()) {
+    std::printf("  %s\n", t.label().c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+  if (args.has("freshness-limit")) {
+    profile->sqn_freshness_limit = std::stoull(args.get("freshness-limit"));
+  }
+  checker::AnalysisOptions options;
+  if (args.has("properties")) {
+    for (const std::string& id : split(args.get("properties"), ',')) {
+      options.only_properties.insert(std::string(trim(id)));
+    }
+  }
+  checker::ImplementationReport rep = checker::ProChecker::analyze(*profile, options);
+  threat::ThreatModel tm = checker::ProChecker::build_threat_model(rep.checking_model);
+
+  for (const checker::PropertyResult& r : rep.results) {
+    const char* status = r.status == checker::PropertyResult::Status::kAttack       ? "ATTACK"
+                         : r.status == checker::PropertyResult::Status::kVerified   ? "verified"
+                                                                                    : "n/a";
+    std::printf("%-4s %-8s %-5s %s\n", r.property_id.c_str(), status,
+                r.attack_id.empty() ? "-" : r.attack_id.c_str(), r.note.c_str());
+    if (r.counterexample && args.has("traces")) {
+      std::printf("%s", r.counterexample->render(tm.model).c_str());
+    }
+    if (r.counterexample && args.has("dot-traces")) {
+      std::printf("%s", r.counterexample->to_dot(tm.model).c_str());
+    }
+  }
+  std::printf("\n%s: %d verified, %d attacks, %d n/a | Table I rows: ",
+              rep.profile_name.c_str(), rep.verified_count(), rep.attack_count(),
+              rep.not_applicable_count());
+  for (const std::string& id : rep.attacks_found) std::printf("%s ", id.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  Args args = Args::parse(argc, argv, 2);
+  if (cmd == "instrument") return cmd_instrument(args);
+  if (cmd == "conformance") return cmd_conformance(args);
+  if (cmd == "extract") return cmd_extract(args);
+  if (cmd == "analyze") return cmd_analyze(args);
+  return usage();
+}

@@ -1,0 +1,55 @@
+#include "common/rng.h"
+
+namespace procheck {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Rng::next_u64() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  return splitmix64(state_);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Modulo bias is irrelevant at simulation fidelity.
+  return next_u64() % bound;
+}
+
+Bytes Rng::next_bytes(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(next_u64() & 0xFF);
+  }
+  return out;
+}
+
+std::uint64_t prf64(std::uint64_t key, const Bytes& data) {
+  std::uint64_t h = splitmix64(key ^ 0xA5A5A5A55A5A5A5AULL);
+  for (std::uint8_t b : data) {
+    h = splitmix64(h ^ b);
+  }
+  return splitmix64(h ^ data.size());
+}
+
+Bytes prf_stream(std::uint64_t key, std::uint64_t iv, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  std::uint64_t block = 0;
+  while (out.size() < n) {
+    Bytes ctr;
+    ByteWriter w;
+    w.u64(iv);
+    w.u64(block++);
+    std::uint64_t ks = prf64(key, w.bytes());
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(ks >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace procheck

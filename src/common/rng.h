@@ -1,0 +1,44 @@
+// Deterministic randomness and keyed pseudo-random functions.
+//
+// The whole framework must be reproducible run-to-run (logs feed the model
+// extractor; benches compare against recorded expectations), so all
+// randomness flows through an explicitly seeded SplitMix64 generator, and
+// the simulated cryptographic primitives (see nas/crypto.h) are built on the
+// keyed PRF defined here. DESIGN.md §1 documents why a simulation-grade PRF
+// is a faithful substitution for EIA/EEA/MILENAGE in this reproduction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace procheck {
+
+/// SplitMix64 mixing step: a bijective avalanche permutation on 64-bit words.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Deterministic pseudo-random generator (SplitMix64 stream).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) for bound >= 1.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Random octet string of length n.
+  Bytes next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Keyed PRF over an octet string: prf(key, data) -> 64-bit tag. Collision
+/// behavior is irrelevant for the logical analysis; only the dependence on
+/// (key, data) identity matters.
+std::uint64_t prf64(std::uint64_t key, const Bytes& data);
+
+/// Keyed PRF producing `n` output octets (counter mode over prf64); used as
+/// the simulated cipher keystream.
+Bytes prf_stream(std::uint64_t key, std::uint64_t iv, std::size_t n);
+
+}  // namespace procheck

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace procheck {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back({Row::Kind::kCells, std::move(row)});
+}
+
+void TextTable::add_rule() { rows_.push_back({Row::Kind::kRule, {}}); }
+
+void TextTable::add_section(std::string title) {
+  rows_.push_back({Row::Kind::kSection, {std::move(title)}});
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.kind != Row::Kind::kCells) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  std::size_t total = header_.size() > 0 ? (header_.size() - 1) * 3 : 0;
+  for (std::size_t w : widths) total += w;
+
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(widths[c], ' ');
+      if (c > 0) line += " | ";
+      line += cell;
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_cells(header_);
+  out += std::string(total, '-') + "\n";
+  for (const Row& r : rows_) {
+    switch (r.kind) {
+      case Row::Kind::kCells:
+        out += render_cells(r.cells);
+        break;
+      case Row::Kind::kRule:
+        out += std::string(total, '-') + "\n";
+        break;
+      case Row::Kind::kSection: {
+        const std::string& title = r.cells[0];
+        std::size_t pad = total > title.size() + 2 ? (total - title.size() - 2) / 2 : 0;
+        out += std::string(pad, '=') + " " + title + " " +
+               std::string(total > pad + title.size() + 2 ? total - pad - title.size() - 2 : 0, '=') +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace procheck

@@ -1,0 +1,36 @@
+// Plain-text table renderer used by the benchmark harnesses to print the
+// paper's tables (Table I, Table II, the RQ2 comparison) in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace procheck {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next row (section separators).
+  void add_rule();
+  /// A full-width section banner row (e.g. "New Attacks" in Table I).
+  void add_section(std::string title);
+
+  /// Renders with a header rule and column padding.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    enum class Kind { kCells, kRule, kSection };
+    Kind kind;
+    std::vector<std::string> cells;  // kCells: one per column; kSection: [0] = title
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace procheck

@@ -1,0 +1,77 @@
+#include "cpv/knowledge.h"
+
+namespace procheck::cpv {
+
+void Knowledge::learn(Term t) {
+  base_.insert(std::move(t));
+  dirty_ = true;
+}
+
+const std::set<Term>& Knowledge::saturated() const {
+  saturate();
+  return analyzed_;
+}
+
+void Knowledge::saturate() const {
+  if (!dirty_) return;
+  analyzed_ = base_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Term> to_add;
+    for (const Term& t : analyzed_) {
+      if (t.is_name()) continue;
+      if (t.symbol() == "pair") {
+        for (const Term& a : t.args()) {
+          if (analyzed_.count(a) == 0) to_add.push_back(a);
+        }
+      } else if (t.symbol() == "senc" && t.args().size() == 2) {
+        // senc(m, k): m recoverable iff k derivable from the current set.
+        // (Key derivability uses the in-progress analyzed set; iterating to
+        // fixpoint makes this sound.)
+        const Term& m = t.args()[0];
+        const Term& k = t.args()[1];
+        // Synthesis check against the current analyzed snapshot.
+        if (analyzed_.count(m) == 0) {
+          // Defer the derivability test to a local lambda to avoid
+          // recursion into saturate().
+          struct Synth {
+            const std::set<Term>& set;
+            bool can(const Term& t) const {
+              if (set.count(t) > 0) return true;
+              if (t.is_name()) return false;
+              if (t.symbol() == "mac" || t.symbol() == "kdf" || t.symbol() == "senc" ||
+                  t.symbol() == "pair") {
+                for (const Term& a : t.args()) {
+                  if (!can(a)) return false;
+                }
+                return true;
+              }
+              return false;
+            }
+          };
+          if (Synth{analyzed_}.can(k)) to_add.push_back(m);
+        }
+      }
+      // mac/kdf: one-way, nothing to decompose.
+    }
+    for (Term& t : to_add) {
+      changed = analyzed_.insert(std::move(t)).second || changed;
+    }
+  }
+  dirty_ = false;
+}
+
+bool Knowledge::derivable(const Term& t) const {
+  saturate();
+  // Synthesis: t is derivable if it is in the analyzed set, or it is a
+  // constructor application whose arguments are all derivable.
+  if (analyzed_.count(t) > 0) return true;
+  if (t.is_name()) return false;
+  for (const Term& a : t.args()) {
+    if (!derivable(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace procheck::cpv

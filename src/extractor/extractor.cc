@@ -1,0 +1,234 @@
+#include "extractor/extractor.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/strings.h"
+#include "mme/mme_nas.h"
+#include "ue/emm_state.h"
+
+namespace procheck::extractor {
+
+namespace {
+
+/// If `name` starts with one of the prefixes, returns the message name with
+/// the prefix stripped.
+std::optional<std::string> match_prefix(const std::string& name,
+                                        const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (starts_with(name, p)) return name.substr(p.size());
+  }
+  return std::nullopt;
+}
+
+bool is_state_value(const std::string& value, const Signatures& sigs) {
+  return std::find(sigs.state_signatures.begin(), sigs.state_signatures.end(), value) !=
+         sigs.state_signatures.end();
+}
+
+/// One block: everything from an incoming-message handler entrance to the
+/// next one (the event-driven-architecture dissection of §IV-A step 3).
+struct Block {
+  std::string incoming;  // condition message name
+
+  struct Event {
+    enum class Kind { kState, kAction, kLocal };
+    Kind kind;
+    std::string value;  // state name / action name / "name=value" atom
+  };
+  std::vector<Event> events;
+};
+
+std::vector<Block> divide_blocks(const std::vector<instrument::LogRecord>& records,
+                                 const Signatures& sigs) {
+  std::vector<Block> blocks;
+  Block* current = nullptr;
+  std::string last_state;  // dedup consecutive identical state observations
+
+  for (const instrument::LogRecord& rec : records) {
+    switch (rec.kind) {
+      case instrument::LogRecord::Kind::kEnter: {
+        if (auto incoming = match_prefix(rec.name, sigs.incoming_prefixes)) {
+          blocks.emplace_back();
+          current = &blocks.back();
+          current->incoming = *incoming;
+          last_state.clear();
+          break;
+        }
+        if (!current) break;
+        if (auto outgoing = match_prefix(rec.name, sigs.outgoing_prefixes)) {
+          current->events.push_back({Block::Event::Kind::kAction, *outgoing});
+        }
+        break;
+      }
+      case instrument::LogRecord::Kind::kGlobal:
+        if (current && is_state_value(rec.value, sigs) && rec.value != last_state) {
+          current->events.push_back({Block::Event::Kind::kState, rec.value});
+          last_state = rec.value;
+        }
+        break;
+      case instrument::LogRecord::Kind::kLocal:
+        if (current) {
+          current->events.push_back({Block::Event::Kind::kLocal, rec.name + "=" + rec.value});
+        }
+        break;
+      case instrument::LogRecord::Kind::kTestCase:
+        // Test boundary: the stack is re-created; close the current block.
+        current = nullptr;
+        last_state.clear();
+        break;
+    }
+  }
+  return blocks;
+}
+
+void set_initial(fsm::Fsm& out, const ExtractionOptions& options,
+                 const std::string& first_observed) {
+  if (!options.initial_state.empty()) {
+    out.set_initial(options.initial_state);
+  } else if (!first_observed.empty()) {
+    out.set_initial(first_observed);
+  }
+}
+
+}  // namespace
+
+Signatures ue_signatures(const ue::StackProfile& profile) {
+  Signatures sigs;
+  for (std::string_view s : ue::kUeStateNames) sigs.state_signatures.emplace_back(s);
+  sigs.incoming_prefixes = {profile.recv_prefix};
+  sigs.outgoing_prefixes = {profile.send_prefix};
+  return sigs;
+}
+
+Signatures mme_signatures() {
+  Signatures sigs;
+  for (std::string_view s : mme::kMmeStateNames) sigs.state_signatures.emplace_back(s);
+  sigs.incoming_prefixes = {"recv_"};
+  sigs.outgoing_prefixes = {"send_"};
+  return sigs;
+}
+
+fsm::Fsm extract(const std::vector<instrument::LogRecord>& records, const Signatures& sigs,
+                 const ExtractionOptions& options) {
+  if (!options.chain_substates) return extract_basic(records, sigs, options);
+
+  fsm::Fsm out;
+  std::string first_observed;
+
+  for (const Block& block : divide_blocks(records, sigs)) {
+    // Segment the block's ordered events at state observations. Each
+    // segment i (from state s_i to state s_{i+1}) yields one transition;
+    // locals and actions attach to the segment they occurred in.
+    std::vector<std::string> states;
+    for (const Block::Event& e : block.events) {
+      if (e.kind == Block::Event::Kind::kState) states.push_back(e.value);
+    }
+    if (states.empty()) continue;
+    if (first_observed.empty()) first_observed = states.front();
+
+    if (states.size() == 1) {
+      // No state change: a self-loop carrying every condition and action.
+      fsm::Transition t;
+      t.from = t.to = states.front();
+      t.conditions.insert(block.incoming);
+      for (const Block::Event& e : block.events) {
+        if (e.kind == Block::Event::Kind::kLocal && options.include_condition_locals) {
+          t.conditions.insert(e.value);
+        }
+        if (e.kind == Block::Event::Kind::kAction) t.actions.insert(e.value);
+      }
+      if (t.actions.empty()) t.actions.insert(fsm::kNullAction);
+      out.add_transition(std::move(t));
+      continue;
+    }
+
+    // Build one transition per consecutive state pair.
+    std::vector<fsm::Transition> chain(states.size() - 1);
+    for (std::size_t i = 0; i + 1 < states.size(); ++i) {
+      chain[i].from = states[i];
+      chain[i].to = states[i + 1];
+      chain[i].conditions.insert(block.incoming);
+    }
+    // Walk events again, attaching locals/actions to the segment that is
+    // active when they occur (locals guard the *next* state change; actions
+    // belong to the segment they were emitted in; trailing events attach to
+    // the final transition).
+    std::size_t seg = 0;  // index of the upcoming transition
+    bool seen_first_state = false;
+    for (const Block::Event& e : block.events) {
+      switch (e.kind) {
+        case Block::Event::Kind::kState:
+          if (!seen_first_state) {
+            seen_first_state = true;
+          } else if (seg + 1 < chain.size()) {
+            ++seg;
+          } else {
+            seg = chain.size();  // past the last state: trailing events
+          }
+          break;
+        case Block::Event::Kind::kLocal:
+          if (options.include_condition_locals) {
+            chain[std::min(seg, chain.size() - 1)].conditions.insert(e.value);
+          }
+          break;
+        case Block::Event::Kind::kAction:
+          chain[std::min(seg, chain.size() - 1)].actions.insert(e.value);
+          break;
+      }
+    }
+    for (fsm::Transition& t : chain) {
+      if (t.actions.empty()) t.actions.insert(fsm::kNullAction);
+      out.add_transition(std::move(t));
+    }
+  }
+
+  set_initial(out, options, first_observed);
+  return out;
+}
+
+fsm::Fsm extract(const std::string& log_text, const Signatures& sigs,
+                 const ExtractionOptions& options) {
+  return extract(instrument::parse_log(log_text), sigs, options);
+}
+
+fsm::Fsm extract_basic(const std::vector<instrument::LogRecord>& records,
+                       const Signatures& sigs, const ExtractionOptions& options) {
+  fsm::Fsm out;
+  std::string first_observed;
+
+  for (const Block& block : divide_blocks(records, sigs)) {
+    fsm::Transition t;
+    bool have_state = false;
+    for (const Block::Event& e : block.events) {
+      switch (e.kind) {
+        case Block::Event::Kind::kState:
+          if (!have_state) {
+            t.from = e.value;  // first state signature in B -> s_in
+            have_state = true;
+          }
+          t.to = e.value;  // last state signature -> s_out
+          break;
+        case Block::Event::Kind::kAction:
+          t.actions.insert(e.value);
+          break;
+        case Block::Event::Kind::kLocal:
+          // The literal Algorithm 1 harvests message signatures only; with
+          // include_condition_locals the block's condition locals join σ
+          // (this flat-with-predicates form is what the checker consumes).
+          if (options.include_condition_locals) t.conditions.insert(e.value);
+          break;
+      }
+    }
+    if (!have_state) continue;
+    if (first_observed.empty()) first_observed = t.from;
+    t.conditions.insert(block.incoming);
+    if (t.actions.empty()) t.actions.insert(fsm::kNullAction);  // lines 20-21
+    out.add_transition(std::move(t));
+  }
+
+  set_initial(out, options, first_observed);
+  return out;
+}
+
+}  // namespace procheck::extractor

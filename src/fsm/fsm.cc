@@ -1,0 +1,86 @@
+#include "fsm/fsm.h"
+
+#include <deque>
+
+#include "common/strings.h"
+
+namespace procheck::fsm {
+
+std::string Transition::label() const {
+  std::string cond = join(std::vector<std::string>(conditions.begin(), conditions.end()), " & ");
+  std::string act = join(std::vector<std::string>(actions.begin(), actions.end()), ", ");
+  return from + " --[" + cond + " / " + (act.empty() ? kNullAction : act) + "]--> " + to;
+}
+
+void Fsm::set_initial(std::string s0) {
+  states_.insert(s0);
+  initial_ = std::move(s0);
+}
+
+void Fsm::add_transition(Transition t) {
+  states_.insert(t.from);
+  states_.insert(t.to);
+  conditions_.insert(t.conditions.begin(), t.conditions.end());
+  actions_.insert(t.actions.begin(), t.actions.end());
+  if (transition_index_.insert(t).second) {
+    transitions_.push_back(std::move(t));
+  }
+}
+
+std::vector<const Transition*> Fsm::from(const std::string& state) const {
+  std::vector<const Transition*> out;
+  for (const Transition& t : transitions_) {
+    if (t.from == state) out.push_back(&t);
+  }
+  return out;
+}
+
+std::set<std::string> Fsm::reachable() const {
+  std::set<std::string> seen;
+  if (initial_.empty()) return seen;
+  std::deque<std::string> work{initial_};
+  seen.insert(initial_);
+  while (!work.empty()) {
+    std::string s = std::move(work.front());
+    work.pop_front();
+    for (const Transition* t : from(s)) {
+      if (seen.insert(t->to).second) work.push_back(t->to);
+    }
+  }
+  return seen;
+}
+
+bool Fsm::deterministic() const {
+  std::map<std::pair<std::string, std::set<Atom>>, const Transition*> index;
+  for (const Transition& t : transitions_) {
+    auto [it, inserted] = index.try_emplace({t.from, t.conditions}, &t);
+    if (!inserted && (it->second->to != t.to || it->second->actions != t.actions)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Fsm::Stats Fsm::stats() const {
+  return {states_.size(), transitions_.size(), conditions_.size(), actions_.size()};
+}
+
+std::string Fsm::to_dot(const std::string& name) const {
+  std::string out = "digraph " + name + " {\n  rankdir=LR;\n";
+  if (!initial_.empty()) {
+    out += "  __start [shape=point];\n  __start -> \"" + initial_ + "\";\n";
+  }
+  for (const std::string& s : states_) {
+    out += "  \"" + s + "\" [shape=box];\n";
+  }
+  for (const Transition& t : transitions_) {
+    std::string cond =
+        join(std::vector<std::string>(t.conditions.begin(), t.conditions.end()), " & ");
+    std::string act = join(std::vector<std::string>(t.actions.begin(), t.actions.end()), ", ");
+    out += "  \"" + t.from + "\" -> \"" + t.to + "\" [label=\"" + cond + " / " + act + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace procheck::fsm

@@ -1,0 +1,82 @@
+// Protocol finite-state machine — the 5-tuple (Σ, Γ, S, s0, T) of the
+// paper's §III-B. States are the standard's state names; condition atoms are
+// incoming-message names plus "var=value" predicates harvested from the
+// log's condition locals; action atoms are outgoing-message names or
+// kNullAction when a message triggered no response.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace procheck::fsm {
+
+/// A condition/action atom. Conditions: an incoming-message name
+/// ("attach_accept") or a predicate ("mac_valid=1"); actions: an
+/// outgoing-message name or kNullAction.
+using Atom = std::string;
+
+inline const Atom kNullAction = "null_action";
+
+struct Transition {
+  std::string from;
+  std::string to;
+  std::set<Atom> conditions;  // σ ⊆ Σ
+  std::set<Atom> actions;     // γ ⊆ Γ
+
+  bool operator==(const Transition&) const = default;
+  auto operator<=>(const Transition&) const = default;
+
+  /// "from --[c1 & c2 / a1]--> to" rendering for reports.
+  std::string label() const;
+};
+
+class Fsm {
+ public:
+  void set_initial(std::string s0);
+  const std::string& initial() const { return initial_; }
+
+  void add_state(const std::string& s) { states_.insert(s); }
+  /// Inserts the transition (deduplicated) and unions its states,
+  /// conditions, and actions into S, Σ, and Γ.
+  void add_transition(Transition t);
+
+  const std::set<std::string>& states() const { return states_; }
+  const std::set<Atom>& conditions() const { return conditions_; }
+  const std::set<Atom>& actions() const { return actions_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  bool has_state(const std::string& s) const { return states_.count(s) > 0; }
+  std::vector<const Transition*> from(const std::string& state) const;
+
+  /// States reachable from the initial state via transitions.
+  std::set<std::string> reachable() const;
+  /// True when no two transitions share (from, conditions) with different
+  /// outcomes — the determinism the paper's §III-B FSMs assume.
+  bool deterministic() const;
+
+  struct Stats {
+    std::size_t states = 0;
+    std::size_t transitions = 0;
+    std::size_t conditions = 0;
+    std::size_t actions = 0;
+  };
+  Stats stats() const;
+
+  /// Graphviz rendering (the model generator's input language, §VI).
+  std::string to_dot(const std::string& name = "fsm") const;
+
+  bool operator==(const Fsm&) const = default;
+
+ private:
+  std::string initial_;
+  std::set<std::string> states_;
+  std::set<Atom> conditions_;
+  std::set<Atom> actions_;
+  std::vector<Transition> transitions_;
+  std::set<Transition> transition_index_;  // dedup
+};
+
+}  // namespace procheck::fsm

@@ -1,0 +1,167 @@
+#include "fsm/refinement.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace procheck::fsm {
+
+namespace {
+
+bool superset(const std::set<Atom>& big, const std::set<Atom>& small) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+std::set<Atom> strip_null(const std::set<Atom>& actions) {
+  std::set<Atom> out = actions;
+  out.erase(kNullAction);
+  return out;
+}
+
+}  // namespace
+
+int RefinementReport::count(TransitionMatch m) const {
+  int n = 0;
+  for (const TransitionMapping& tm : transition_mappings) {
+    if (tm.match == m) ++n;
+  }
+  return n;
+}
+
+std::string RefinementReport::summary() const {
+  std::string out;
+  out += refines ? "REFINES\n" : "DOES NOT REFINE\n";
+  out += "  states mapped:        " + std::string(states_mapped ? "yes" : "no") + "\n";
+  out += "  conditions superset:  " + std::string(conditions_superset ? "yes" : "no") +
+         (conditions_strict_superset ? " (strict)" : "") + "\n";
+  out += "  actions superset:     " + std::string(actions_superset ? "yes" : "no") +
+         (actions_strict_superset ? " (strict)" : "") + "\n";
+  out += "  transitions: direct=" + std::to_string(count(TransitionMatch::kDirect)) +
+         " condition-refined=" + std::to_string(count(TransitionMatch::kConditionRefined)) +
+         " split=" + std::to_string(count(TransitionMatch::kSplit)) +
+         " unmatched=" + std::to_string(count(TransitionMatch::kUnmatched)) + "\n";
+  for (const std::string& s : unmapped_states) {
+    out += "  unmapped state: " + s + "\n";
+  }
+  for (const TransitionMapping& tm : transition_mappings) {
+    if (tm.match == TransitionMatch::kUnmatched) {
+      out += "  unmatched transition: " + tm.abstract.label() + "\n";
+    }
+  }
+  return out;
+}
+
+RefinementReport check_refinement(const Fsm& abstract, const Fsm& refined,
+                                  const std::map<std::string, std::set<std::string>>& state_map,
+                                  int max_split_len) {
+  RefinementReport report;
+
+  // (1) State mapping. A map entry may list substates the implementation
+  // never visits (the standard defines more substates than any one stack
+  // reaches); the mapping is valid as long as at least one image exists in
+  // the refined machine, and only existing images participate in matching.
+  auto mapped = [&](const std::string& s) -> std::set<std::string> {
+    std::set<std::string> out;
+    auto it = state_map.find(s);
+    if (it != state_map.end()) {
+      for (const std::string& r : it->second) {
+        if (refined.has_state(r)) out.insert(r);
+      }
+      return out;
+    }
+    if (refined.has_state(s)) out.insert(s);
+    return out;
+  };
+  report.states_mapped = true;
+  for (const std::string& s : abstract.states()) {
+    if (mapped(s).empty()) {
+      report.states_mapped = false;
+      report.unmapped_states.push_back(s);
+    }
+  }
+
+  // (2) Σ and Γ supersets.
+  report.conditions_superset = superset(refined.conditions(), abstract.conditions());
+  report.conditions_strict_superset =
+      report.conditions_superset && refined.conditions().size() > abstract.conditions().size();
+  report.actions_superset =
+      superset(refined.actions(), strip_null(abstract.actions()));
+  report.actions_strict_superset =
+      report.actions_superset && refined.actions().size() > abstract.actions().size();
+
+  // (3) Transition mapping.
+  for (const Transition& t1 : abstract.transitions()) {
+    TransitionMapping tm;
+    tm.abstract = t1;
+    const std::set<Atom> want_cond = t1.conditions;
+    const std::set<Atom> want_act = strip_null(t1.actions);
+
+    const std::set<std::string> sources = mapped(t1.from);
+    const std::set<std::string> targets = mapped(t1.to);
+
+    // Cases (i)/(ii): a single refined transition between mapped endpoints.
+    for (const Transition& t2 : refined.transitions()) {
+      if (sources.count(t2.from) == 0 || targets.count(t2.to) == 0) continue;
+      if (!superset(t2.conditions, want_cond) || !superset(t2.actions, want_act)) continue;
+      bool exact = t2.conditions == want_cond && strip_null(t2.actions) == want_act;
+      tm.match = exact ? TransitionMatch::kDirect : TransitionMatch::kConditionRefined;
+      tm.refined = {t2};
+      break;
+    }
+
+    // Case (iii): a bounded path through new intermediate states whose
+    // unioned conditions/actions cover the abstract transition.
+    if (tm.match == TransitionMatch::kUnmatched) {
+      std::vector<Transition> path;
+      std::function<bool(const std::string&, std::set<Atom>, std::set<Atom>, int)> dfs =
+          [&](const std::string& at, std::set<Atom> cond_cover, std::set<Atom> act_cover,
+              int depth) -> bool {
+        if (targets.count(at) > 0 && path.size() >= 2 && superset(cond_cover, want_cond) &&
+            superset(act_cover, want_act)) {
+          return true;
+        }
+        if (depth == 0) return false;
+        for (const Transition* t2 : refined.from(at)) {
+          // Avoid revisiting a state already on the path (simple paths only).
+          bool on_path = false;
+          for (const Transition& p : path) {
+            if (p.from == t2->to || p.to == t2->to) on_path = (t2->to != t1.to);
+          }
+          if (on_path) continue;
+          path.push_back(*t2);
+          std::set<Atom> c = cond_cover;
+          c.insert(t2->conditions.begin(), t2->conditions.end());
+          std::set<Atom> a = act_cover;
+          a.insert(t2->actions.begin(), t2->actions.end());
+          if (dfs(t2->to, std::move(c), std::move(a), depth - 1)) return true;
+          path.pop_back();
+        }
+        return false;
+      };
+      // Iterative deepening: prefer the shortest realizing path (keeps the
+      // Fig. 7-style examples free of superfluous hops).
+      for (int depth = 2; depth <= max_split_len && tm.match == TransitionMatch::kUnmatched;
+           ++depth) {
+        for (const std::string& src : sources) {
+          path.clear();
+          if (dfs(src, {}, {}, depth)) {
+            tm.match = TransitionMatch::kSplit;
+            tm.refined = path;
+            break;
+          }
+        }
+      }
+    }
+
+    report.transition_mappings.push_back(std::move(tm));
+  }
+
+  bool all_transitions_mapped = true;
+  for (const TransitionMapping& tm : report.transition_mappings) {
+    all_transitions_mapped = all_transitions_mapped && tm.match != TransitionMatch::kUnmatched;
+  }
+  report.refines = report.states_mapped && report.conditions_superset &&
+                   report.actions_superset && all_transitions_mapped;
+  return report;
+}
+
+}  // namespace procheck::fsm

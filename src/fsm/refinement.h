@@ -1,0 +1,61 @@
+// FSM refinement checking, implementing the paper's §VII-B definition used
+// to answer RQ2 ("is the automatically extracted model Pro^μ a refinement
+// of the manually built LTEInspector model LTE^μ?").
+//
+// M2 refines M1 when:
+//  (1) every state of M1 maps (one-to-one, or via the provided
+//      state-to-substates map) into M2's state set;
+//  (2) Σ2 ⊇ Σ1 and Γ2 ⊇ Γ1 (strict supersets in the paper's comparison);
+//  (3) every transition of M1 maps into M2 by one of three cases:
+//      (i)  directly (same endpoints, same condition/action sets);
+//      (ii) with a *stricter* condition σ2 = σ1 ∧ φ (same endpoints,
+//           superset condition, superset action);
+//      (iii) split across new intermediate states: a path in M2 from the
+//           mapped source to the mapped target whose unioned conditions and
+//           actions cover σ1 and γ1.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace procheck::fsm {
+
+/// How one abstract transition was matched in the refined machine.
+enum class TransitionMatch { kDirect, kConditionRefined, kSplit, kUnmatched };
+
+struct TransitionMapping {
+  Transition abstract;
+  TransitionMatch match = TransitionMatch::kUnmatched;
+  /// The refined transitions realizing the abstract one (1 for direct /
+  /// condition-refined; ≥2 for split).
+  std::vector<Transition> refined;
+};
+
+struct RefinementReport {
+  bool refines = false;
+  bool states_mapped = false;
+  bool conditions_superset = false;
+  bool conditions_strict_superset = false;
+  bool actions_superset = false;
+  bool actions_strict_superset = false;
+  std::vector<std::string> unmapped_states;
+  std::vector<TransitionMapping> transition_mappings;
+
+  int count(TransitionMatch m) const;
+  /// Human-readable summary (used by the RQ2 bench and example).
+  std::string summary() const;
+};
+
+/// `state_map` maps an abstract state to the set of refined states it
+/// corresponds to (e.g. ue_registered -> {EMM_REGISTERED,
+/// EMM_REGISTERED_NORMAL_SERVICE}); abstract states absent from the map are
+/// matched by identical name. `max_split_len` bounds case-(iii) path search.
+RefinementReport check_refinement(const Fsm& abstract, const Fsm& refined,
+                                  const std::map<std::string, std::set<std::string>>& state_map,
+                                  int max_split_len = 4);
+
+}  // namespace procheck::fsm

@@ -1,0 +1,310 @@
+#include "instrument/source_instrumentor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace procheck::instrument {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_keyword(std::string_view tok) {
+  static constexpr std::string_view kKeywords[] = {
+      "if", "else", "while", "for", "switch", "return", "do", "case", "default",
+      "break", "continue", "goto", "sizeof", "typedef", "struct", "class", "enum",
+      "union", "namespace", "using", "template", "new", "delete", "throw"};
+  return std::find(std::begin(kKeywords), std::end(kKeywords), tok) != std::end(kKeywords);
+}
+
+/// Marks positions inside comments, string literals, char literals, and
+/// preprocessor lines so the structural scan skips them.
+std::vector<bool> build_skip_mask(std::string_view src) {
+  std::vector<bool> skip(src.size(), false);
+  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar, kPreproc };
+  Mode mode = Mode::kCode;
+  bool at_line_start = true;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLineComment;
+          skip[i] = true;
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlockComment;
+          skip[i] = true;
+        } else if (c == '"') {
+          mode = Mode::kString;
+          skip[i] = true;
+        } else if (c == '\'') {
+          mode = Mode::kChar;
+          skip[i] = true;
+        } else if (c == '#' && at_line_start) {
+          mode = Mode::kPreproc;
+          skip[i] = true;
+        }
+        break;
+      case Mode::kLineComment:
+      case Mode::kPreproc:
+        skip[i] = true;
+        if (c == '\n' && (i == 0 || src[i - 1] != '\\')) mode = Mode::kCode;
+        break;
+      case Mode::kBlockComment:
+        skip[i] = true;
+        if (c == '/' && i > 0 && src[i - 1] == '*') mode = Mode::kCode;
+        break;
+      case Mode::kString:
+        skip[i] = true;
+        if (c == '"' && src[i - 1] != '\\') mode = Mode::kCode;
+        break;
+      case Mode::kChar:
+        skip[i] = true;
+        if (c == '\'' && src[i - 1] != '\\') mode = Mode::kCode;
+        break;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      at_line_start = c == '\n';
+    }
+    if (c == '\n') at_line_start = true;
+  }
+  return skip;
+}
+
+/// Last identifier token ending at or before `end` (exclusive). Returns
+/// empty view if the preceding token is not an identifier.
+std::string_view prev_ident(std::string_view src, std::size_t end) {
+  std::size_t i = end;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(src[i - 1]))) --i;
+  std::size_t stop = i;
+  while (i > 0 && is_ident_char(src[i - 1])) --i;
+  if (i == stop) return {};
+  return src.substr(i, stop - i);
+}
+
+struct FunctionDef {
+  std::string name;
+  std::size_t body_open;   // index of '{'
+  std::size_t body_close;  // index of matching '}'
+};
+
+/// Finds top-level function definitions by locating depth-0 '{' preceded by
+/// a ')' whose matching '(' is preceded by a non-keyword identifier.
+std::vector<FunctionDef> find_functions(std::string_view src, const std::vector<bool>& skip) {
+  std::vector<FunctionDef> out;
+  int depth = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (skip[i]) continue;
+    char c = src[i];
+    if (c == '}') {
+      --depth;
+      continue;
+    }
+    if (c != '{') continue;
+    if (depth++ != 0) continue;
+
+    // Walk back over whitespace to the ')'.
+    std::size_t j = i;
+    while (j > 0 && std::isspace(static_cast<unsigned char>(src[j - 1]))) --j;
+    if (j == 0 || src[j - 1] != ')') continue;
+    // Match the '(' backwards.
+    int paren = 0;
+    std::size_t k = j;
+    while (k > 0) {
+      --k;
+      if (skip[k]) continue;
+      if (src[k] == ')') ++paren;
+      if (src[k] == '(') {
+        if (--paren == 0) break;
+      }
+    }
+    if (paren != 0) continue;
+    std::string_view name = prev_ident(src, k);
+    if (name.empty() || is_keyword(name)) continue;
+
+    // Find the matching close brace.
+    int body_depth = 1;
+    std::size_t close = i;
+    for (std::size_t m = i + 1; m < src.size(); ++m) {
+      if (skip[m]) continue;
+      if (src[m] == '{') ++body_depth;
+      if (src[m] == '}' && --body_depth == 0) {
+        close = m;
+        break;
+      }
+    }
+    if (close == i) continue;
+    out.push_back({std::string(name), i, close});
+    depth = 0;  // we will skip the body below
+    i = close;  // resume scanning after this function
+  }
+  return out;
+}
+
+/// Local-variable names declared in the function's first basic block: the
+/// statements at body depth 1 before the first control-flow keyword.
+std::vector<std::string> first_block_locals(std::string_view body, const std::vector<bool>& skip,
+                                            std::size_t begin, std::size_t end) {
+  std::vector<std::string> locals;
+  std::size_t stmt_start = begin;
+  int depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (skip[i]) continue;
+    char c = body[i];
+    if (c == '{' || c == '(') ++depth;
+    if (c == '}' || c == ')') --depth;
+    if (c != ';' || depth != 0) continue;
+
+    std::string_view stmt = trim(body.substr(stmt_start, i - stmt_start));
+    stmt_start = i + 1;
+    if (stmt.empty()) continue;
+
+    // Stop harvesting at the first control-flow construct.
+    std::size_t tok_end = 0;
+    while (tok_end < stmt.size() && is_ident_char(stmt[tok_end])) ++tok_end;
+    std::string_view first_tok = stmt.substr(0, tok_end);
+    if (is_keyword(first_tok) && first_tok != "struct" && first_tok != "enum") break;
+    if (contains(stmt, "if") && starts_with(stmt, "if")) break;
+
+    // Declaration heuristic: "<type tokens> <name> [= init]" with no '(' on
+    // the declarator side.
+    std::string_view decl = stmt;
+    std::size_t eq = std::string_view::npos;
+    int par = 0;
+    for (std::size_t p = 0; p < stmt.size(); ++p) {
+      if (stmt[p] == '(') ++par;
+      if (stmt[p] == ')') --par;
+      if (stmt[p] == '=' && par == 0 && (p + 1 >= stmt.size() || stmt[p + 1] != '=') &&
+          (p == 0 || (stmt[p - 1] != '!' && stmt[p - 1] != '<' && stmt[p - 1] != '>'))) {
+        eq = p;
+        break;
+      }
+    }
+    if (eq != std::string_view::npos) decl = trim(stmt.substr(0, eq));
+    if (contains(decl, "(") || contains(decl, ")")) break;  // call/assignment-expr: not a decl
+
+    std::string_view name = prev_ident(decl, decl.size());
+    if (name.empty() || is_keyword(name)) break;
+    // Must have at least one type token before the name.
+    std::string_view before = trim(decl.substr(0, decl.size() - name.size()));
+    while (!before.empty() && (before.back() == '*' || before.back() == '&')) {
+      before = trim(before.substr(0, before.size() - 1));
+    }
+    if (before.empty()) break;  // plain assignment "x = ..": first block over
+    locals.emplace_back(name);
+  }
+  return locals;
+}
+
+std::string probe_enter(const std::string& fn) { return "log_enter(\"" + fn + "\"); "; }
+std::string probe_global(const std::string& g) {
+  return "log_global(\"" + g + "\", " + g + "); ";
+}
+std::string probe_local(const std::string& l) { return "log_local(\"" + l + "\", " + l + "); "; }
+
+}  // namespace
+
+std::vector<std::string> harvest_globals(std::string_view header_text) {
+  std::vector<std::string> out;
+  std::vector<bool> skip = build_skip_mask(header_text);
+  int depth = 0;
+  std::size_t stmt_start = 0;
+  for (std::size_t i = 0; i < header_text.size(); ++i) {
+    if (skip[i]) {
+      if (header_text[i] == '\n') stmt_start = i + 1;
+      continue;
+    }
+    char c = header_text[i];
+    if (c == '{' || c == '(') ++depth;
+    if (c == '}' || c == ')') --depth;
+    if (c == '}' && depth == 0) stmt_start = i + 1;  // end of type definition
+    if (c != ';' || depth != 0) continue;
+
+    std::string_view stmt = trim(header_text.substr(stmt_start, i - stmt_start));
+    stmt_start = i + 1;
+    if (stmt.empty() || contains(stmt, "(")) continue;  // function decls
+    std::size_t eq = stmt.find('=');
+    std::string_view decl = eq == std::string_view::npos ? stmt : trim(stmt.substr(0, eq));
+    if (starts_with(decl, "typedef") || starts_with(decl, "using") ||
+        starts_with(decl, "struct") || starts_with(decl, "class") ||
+        starts_with(decl, "enum") || starts_with(decl, "}")) {
+      continue;
+    }
+    std::string_view name = prev_ident(decl, decl.size());
+    if (name.empty() || is_keyword(name)) continue;
+    std::string_view before = trim(decl.substr(0, decl.size() - name.size()));
+    while (!before.empty() && (before.back() == '*' || before.back() == '&')) {
+      before = trim(before.substr(0, before.size() - 1));
+    }
+    if (before.empty()) continue;  // no type tokens: not a declaration
+    out.emplace_back(name);
+  }
+  return out;
+}
+
+InstrumentedSource instrument_source(std::string_view source,
+                                     const std::vector<std::string>& globals) {
+  InstrumentedSource result;
+  std::vector<bool> skip = build_skip_mask(source);
+  std::vector<FunctionDef> functions = find_functions(source, skip);
+
+  struct Insertion {
+    std::size_t pos;
+    std::string text;
+  };
+  std::vector<Insertion> insertions;
+
+  for (const FunctionDef& fn : functions) {
+    ++result.stats.functions_instrumented;
+    std::vector<std::string> locals =
+        first_block_locals(source, skip, fn.body_open + 1, fn.body_close);
+
+    // Entry probe: function entrance + global values.
+    std::string entry = "\n  " + probe_enter(fn.name);
+    ++result.stats.enter_probes;
+    for (const std::string& g : globals) {
+      entry += probe_global(g);
+      ++result.stats.global_probes;
+    }
+    insertions.push_back({fn.body_open + 1, entry});
+
+    // Exit probes: locals then globals, before each `return` and before the
+    // closing brace.
+    auto exit_probe = [&] {
+      std::string text;
+      for (const std::string& l : locals) {
+        text += probe_local(l);
+        ++result.stats.local_probes;
+      }
+      for (const std::string& g : globals) {
+        text += probe_global(g);
+        ++result.stats.global_probes;
+      }
+      return text;
+    };
+
+    for (std::size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+      if (skip[i]) continue;
+      if (source.compare(i, 6, "return") == 0 && (i == 0 || !is_ident_char(source[i - 1])) &&
+          (i + 6 >= source.size() || !is_ident_char(source[i + 6]))) {
+        insertions.push_back({i, exit_probe()});
+      }
+    }
+    insertions.push_back({fn.body_close, exit_probe() + "\n"});
+  }
+
+  std::sort(insertions.begin(), insertions.end(),
+            [](const Insertion& a, const Insertion& b) { return a.pos > b.pos; });
+  result.text = std::string(source);
+  for (const Insertion& ins : insertions) {
+    result.text.insert(ins.pos, ins.text);
+  }
+  return result;
+}
+
+}  // namespace procheck::instrument

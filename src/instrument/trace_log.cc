@@ -1,0 +1,98 @@
+#include "instrument/trace_log.h"
+
+#include "common/strings.h"
+
+namespace procheck::instrument {
+
+namespace {
+constexpr std::string_view kEnterTag = "[ENTER]";
+constexpr std::string_view kGlobalTag = "[GLOBAL]";
+constexpr std::string_view kLocalTag = "[LOCAL]";
+constexpr std::string_view kTestTag = "[TEST]";
+}  // namespace
+
+std::string render(const LogRecord& rec) {
+  switch (rec.kind) {
+    case LogRecord::Kind::kEnter:
+      return std::string(kEnterTag) + " " + rec.name;
+    case LogRecord::Kind::kGlobal:
+      return std::string(kGlobalTag) + " " + rec.name + " = " + rec.value;
+    case LogRecord::Kind::kLocal:
+      return std::string(kLocalTag) + " " + rec.name + " = " + rec.value;
+    case LogRecord::Kind::kTestCase:
+      return std::string(kTestTag) + " " + rec.name;
+  }
+  return {};
+}
+
+std::vector<LogRecord> parse_log(std::string_view text) {
+  std::vector<LogRecord> out;
+  for (const std::string& raw : split_lines(text)) {
+    std::string_view line = trim(raw);
+    LogRecord rec;
+    std::string_view rest;
+    if (starts_with(line, kEnterTag)) {
+      rec.kind = LogRecord::Kind::kEnter;
+      rest = trim(line.substr(kEnterTag.size()));
+      rec.name = std::string(rest);
+      out.push_back(std::move(rec));
+      continue;
+    }
+    if (starts_with(line, kTestTag)) {
+      rec.kind = LogRecord::Kind::kTestCase;
+      rec.name = std::string(trim(line.substr(kTestTag.size())));
+      out.push_back(std::move(rec));
+      continue;
+    }
+    bool global = starts_with(line, kGlobalTag);
+    bool local = starts_with(line, kLocalTag);
+    if (!global && !local) continue;  // tolerate interleaved output
+    rec.kind = global ? LogRecord::Kind::kGlobal : LogRecord::Kind::kLocal;
+    rest = trim(line.substr(global ? kGlobalTag.size() : kLocalTag.size()));
+    std::size_t eq = rest.find('=');
+    if (eq == std::string_view::npos) continue;
+    rec.name = std::string(trim(rest.substr(0, eq)));
+    rec.value = std::string(trim(rest.substr(eq + 1)));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+void TraceLogger::push(LogRecord rec) {
+  if (enabled_) records_.push_back(std::move(rec));
+}
+
+void TraceLogger::enter(std::string_view function) {
+  push({LogRecord::Kind::kEnter, std::string(function), {}});
+}
+
+void TraceLogger::global(std::string_view name, std::string_view value) {
+  push({LogRecord::Kind::kGlobal, std::string(name), std::string(value)});
+}
+
+void TraceLogger::global(std::string_view name, std::uint64_t value) {
+  push({LogRecord::Kind::kGlobal, std::string(name), std::to_string(value)});
+}
+
+void TraceLogger::local(std::string_view name, std::string_view value) {
+  push({LogRecord::Kind::kLocal, std::string(name), std::string(value)});
+}
+
+void TraceLogger::local(std::string_view name, std::uint64_t value) {
+  push({LogRecord::Kind::kLocal, std::string(name), std::to_string(value)});
+}
+
+void TraceLogger::test_case(std::string_view name) {
+  push({LogRecord::Kind::kTestCase, std::string(name), {}});
+}
+
+std::string TraceLogger::text() const {
+  std::string out;
+  for (const LogRecord& rec : records_) {
+    out += render(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace procheck::instrument

@@ -1,0 +1,68 @@
+// The information-rich execution log of the paper (§IV-A, Fig. 3(d)).
+//
+// Instrumented implementations emit three record kinds:
+//   [ENTER]  <function>          — function entrance (handler signatures)
+//   [GLOBAL] <name> = <value>    — global state variable value (entry/exit)
+//   [LOCAL]  <name> = <value>    — local variable value before function exit
+// plus a [TEST] marker the conformance runner emits between test cases
+// (used for coverage accounting; the extractor ignores it).
+//
+// The log has both a structured form (`LogRecord`) and a canonical text
+// form. The model extractor consumes the *text* form to demonstrate that
+// the pipeline needs nothing beyond the log the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace procheck::instrument {
+
+struct LogRecord {
+  enum class Kind : std::uint8_t { kEnter, kGlobal, kLocal, kTestCase };
+  Kind kind = Kind::kEnter;
+  std::string name;   // function / variable / test-case name
+  std::string value;  // variable value (kGlobal/kLocal only)
+
+  bool operator==(const LogRecord&) const = default;
+};
+
+/// Renders one record in the canonical text dialect.
+std::string render(const LogRecord& rec);
+
+/// Parses a full log text back into records. Unrecognized lines are skipped
+/// (real conformance logs interleave unrelated output; the extractor must
+/// tolerate that).
+std::vector<LogRecord> parse_log(std::string_view text);
+
+/// Runtime sink the instrumented stacks write to while the conformance
+/// suite executes.
+class TraceLogger {
+ public:
+  void enter(std::string_view function);
+  void global(std::string_view name, std::string_view value);
+  void global(std::string_view name, std::uint64_t value);
+  void local(std::string_view name, std::string_view value);
+  void local(std::string_view name, std::uint64_t value);
+  void test_case(std::string_view name);
+
+  /// When disabled, all emission is a no-op — this models running the
+  /// *uninstrumented* build (the paper's "default execution log" that only
+  /// has coverage-level content).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  /// Canonical text form of the whole log.
+  std::string text() const;
+  void clear() { records_.clear(); }
+
+ private:
+  void push(LogRecord rec);
+
+  std::vector<LogRecord> records_;
+  bool enabled_ = true;
+};
+
+}  // namespace procheck::instrument

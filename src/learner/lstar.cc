@@ -1,0 +1,219 @@
+#include "learner/lstar.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace procheck::learner {
+
+namespace {
+
+using Word = std::vector<std::string>;
+
+Word concat(const Word& a, const Word& b) {
+  Word out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Observation table with a membership-query cache.
+class ObservationTable {
+ public:
+  ObservationTable(UeSul& sul, LearnResult& result) : sul_(sul), result_(result) {
+    prefixes_.push_back({});  // ε
+    for (const std::string& a : input_alphabet()) {
+      suffixes_.push_back({a});
+    }
+  }
+
+  /// Output suffix for prefix·suffix (the last |suffix| outputs).
+  const Word& cell(const Word& prefix, const Word& suffix) {
+    auto key = std::make_pair(prefix, suffix);
+    auto it = cells_.find(key);
+    if (it != cells_.end()) return it->second;
+    Word word = concat(prefix, suffix);
+    Word outputs = query(word);
+    Word tail(outputs.end() - static_cast<std::ptrdiff_t>(suffix.size()), outputs.end());
+    return cells_.emplace(key, std::move(tail)).first->second;
+  }
+
+  /// Row signature of a prefix over all suffixes.
+  std::string row(const Word& prefix) {
+    std::string sig;
+    for (const Word& e : suffixes_) {
+      for (const std::string& o : cell(prefix, e)) {
+        sig += o;
+        sig += '|';
+      }
+      sig += ';';
+    }
+    return sig;
+  }
+
+  /// Makes the table closed and consistent; returns the hypothesis.
+  MealyMachine close_and_build() {
+    for (bool changed = true; changed;) {
+      changed = false;
+      // Closedness: every one-step extension's row must match some prefix row.
+      std::set<std::string> prefix_rows;
+      for (const Word& s : prefixes_) prefix_rows.insert(row(s));
+      for (std::size_t i = 0; i < prefixes_.size() && !changed; ++i) {
+        for (const std::string& a : input_alphabet()) {
+          Word ext = concat(prefixes_[i], {a});
+          if (is_prefix(ext)) continue;
+          if (prefix_rows.count(row(ext)) == 0) {
+            prefixes_.push_back(ext);
+            changed = true;
+            break;
+          }
+        }
+      }
+      if (changed) continue;
+      // Consistency: equal rows must have equal successor rows.
+      for (std::size_t i = 0; i < prefixes_.size() && !changed; ++i) {
+        for (std::size_t j = i + 1; j < prefixes_.size() && !changed; ++j) {
+          if (row(prefixes_[i]) != row(prefixes_[j])) continue;
+          for (const std::string& a : input_alphabet()) {
+            Word ei = concat(prefixes_[i], {a});
+            Word ej = concat(prefixes_[j], {a});
+            if (row(ei) != row(ej)) {
+              // Find the distinguishing suffix and prepend `a`.
+              for (const Word& e : std::vector<Word>(suffixes_)) {
+                if (cell(ei, e) != cell(ej, e)) {
+                  add_suffix(concat({a}, e));
+                  changed = true;
+                  break;
+                }
+              }
+              break;
+            }
+          }
+        }
+      }
+    }
+    return build();
+  }
+
+  /// Counterexample processing: add every suffix of the word to E.
+  void process_counterexample(const Word& cex) {
+    for (std::size_t i = 0; i < cex.size(); ++i) {
+      add_suffix(Word(cex.begin() + static_cast<std::ptrdiff_t>(i), cex.end()));
+    }
+  }
+
+  Word query(const Word& word) {
+    auto it = query_cache_.find(word);
+    if (it != query_cache_.end()) return it->second;
+    ++result_.membership_queries;
+    Word outputs = sul_.run(word);
+    query_cache_.emplace(word, outputs);
+    return outputs;
+  }
+
+ private:
+  bool is_prefix(const Word& w) const {
+    return std::find(prefixes_.begin(), prefixes_.end(), w) != prefixes_.end();
+  }
+
+  void add_suffix(const Word& e) {
+    if (std::find(suffixes_.begin(), suffixes_.end(), e) == suffixes_.end()) {
+      suffixes_.push_back(e);
+    }
+  }
+
+  MealyMachine build() {
+    MealyMachine m;
+    std::map<std::string, int> state_of_row;
+    std::vector<Word> representative;
+    for (const Word& s : prefixes_) {
+      std::string r = row(s);
+      if (state_of_row.emplace(r, static_cast<int>(representative.size())).second) {
+        representative.push_back(s);
+      }
+    }
+    m.state_count = static_cast<int>(representative.size());
+    m.initial = state_of_row.at(row({}));
+    for (std::size_t q = 0; q < representative.size(); ++q) {
+      for (const std::string& a : input_alphabet()) {
+        Word ext = concat(representative[q], {a});
+        const Word& out = cell(representative[q], {a});
+        m.delta[{static_cast<int>(q), a}] = {state_of_row.at(row(ext)), out.front()};
+      }
+    }
+    return m;
+  }
+
+  UeSul& sul_;
+  LearnResult& result_;
+  std::vector<Word> prefixes_;   // S
+  std::vector<Word> suffixes_;   // E
+  std::map<std::pair<Word, Word>, Word> cells_;
+  std::map<Word, Word> query_cache_;
+};
+
+}  // namespace
+
+std::vector<std::string> MealyMachine::run(const std::vector<std::string>& word) const {
+  std::vector<std::string> outputs;
+  int state = initial;
+  for (const std::string& a : word) {
+    auto it = delta.find({state, a});
+    if (it == delta.end()) {
+      outputs.push_back("null");
+      continue;
+    }
+    state = it->second.first;
+    outputs.push_back(it->second.second);
+  }
+  return outputs;
+}
+
+fsm::Fsm MealyMachine::to_fsm() const {
+  fsm::Fsm m;
+  m.set_initial("q" + std::to_string(initial));
+  for (const auto& [key, value] : delta) {
+    fsm::Transition t;
+    t.from = "q" + std::to_string(key.first);
+    t.to = "q" + std::to_string(value.first);
+    t.conditions = {key.second};
+    t.actions = {value.second == "null" ? fsm::kNullAction : value.second};
+    m.add_transition(std::move(t));
+  }
+  return m;
+}
+
+LearnResult learn_mealy(UeSul& sul, const LearnOptions& options) {
+  LearnResult result;
+  ObservationTable table(sul, result);
+  Rng rng(options.seed);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    result.machine = table.close_and_build();
+    ++result.equivalence_queries;
+
+    // Random-testing equivalence oracle.
+    bool found_cex = false;
+    for (int t = 0; t < options.eq_test_words && !found_cex; ++t) {
+      std::size_t len = 1 + rng.next_below(static_cast<std::uint64_t>(options.eq_test_max_length));
+      std::vector<std::string> word;
+      for (std::size_t i = 0; i < len; ++i) {
+        word.push_back(input_alphabet()[rng.next_below(input_alphabet().size())]);
+      }
+      if (table.query(word) != result.machine.run(word)) {
+        ++result.counterexamples;
+        table.process_counterexample(word);
+        found_cex = true;
+      }
+    }
+    if (!found_cex) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.sul_resets = sul.resets();
+  result.sul_steps = sul.steps();
+  return result;
+}
+
+}  // namespace procheck::learner

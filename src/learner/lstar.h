@@ -1,0 +1,68 @@
+// L* for Mealy machines (Angluin's algorithm in the Niese/Shahbaz Mealy
+// formulation) — the black-box active-learning baseline the paper compares
+// against (§VIII, citing de Ruiter & Poll and Fiterău-Broștean et al.).
+//
+// The learner maintains an observation table (S, E, T): rows are access
+// prefixes, columns are distinguishing suffixes, entries are the output
+// suffixes observed on the SUL. When the table is closed and consistent, a
+// hypothesis Mealy machine is built and handed to a random-testing
+// equivalence oracle; counterexamples are processed by adding all their
+// suffixes to E.
+//
+// The deliverables here are the *cost metrics* (membership queries, resets,
+// total input steps) and the learned machine — bench_blackbox_comparison
+// contrasts them with ProChecker's single instrumented conformance run and
+// predicate-rich extracted model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+#include "learner/sul.h"
+
+namespace procheck::learner {
+
+/// A learned Mealy machine: states are row indices; transitions carry
+/// input/output labels.
+struct MealyMachine {
+  int initial = 0;
+  int state_count = 0;
+  /// (state, input) -> (next state, output).
+  std::map<std::pair<int, std::string>, std::pair<int, std::string>> delta;
+
+  /// Runs a word from the initial state, returning the output sequence.
+  std::vector<std::string> run(const std::vector<std::string>& word) const;
+
+  /// Renders as a (condition/action) FSM for comparison with the extracted
+  /// white-box model: states get synthetic names q0..qN — the "no proper
+  /// indication of states" limitation the paper points out.
+  fsm::Fsm to_fsm() const;
+};
+
+struct LearnResult {
+  MealyMachine machine;
+  long membership_queries = 0;  // table cells filled (each = one SUL word)
+  long equivalence_queries = 0;
+  long counterexamples = 0;
+  long sul_resets = 0;
+  long sul_steps = 0;
+  bool converged = false;  // equivalence oracle found no counterexample
+};
+
+struct LearnOptions {
+  /// Random-testing equivalence oracle: words per round and maximum length.
+  int eq_test_words = 300;
+  int eq_test_max_length = 8;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Safety bound on refinement rounds.
+  int max_rounds = 25;
+};
+
+/// Learns a Mealy machine for the UE black box over input_alphabet().
+LearnResult learn_mealy(UeSul& sul, const LearnOptions& options = LearnOptions());
+
+}  // namespace procheck::learner

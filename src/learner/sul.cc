@@ -1,0 +1,143 @@
+#include "learner/sul.h"
+
+#include "testing/conformance.h"
+
+namespace procheck::learner {
+
+using nas::Direction;
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+using nas::SecHdr;
+
+UeSul::UeSul(ue::StackProfile profile) : profile_(std::move(profile)) { reset(); }
+
+void UeSul::reset() {
+  ++resets_;
+  ue_ = std::make_unique<ue::UeNas>(profile_, testing::kTestKey, testing::kTestImsi, nullptr);
+  // Network-side session state starts fresh; the HSS SQN counter, like a
+  // real network's, keeps advancing across resets (stale vectors from
+  // earlier sessions stay "capturable", as in P1).
+  rand_.clear();
+  xres_ = 0;
+  kasme_ = 0;
+  kasme_known_ = false;
+  net_ctx_.clear();
+}
+
+NasPdu UeSul::craft(const std::string& input, bool* ue_initiated) {
+  *ue_initiated = false;
+  if (input == "power_on") {
+    *ue_initiated = true;
+    return {};
+  }
+  if (input == "authentication_request") {
+    nas::Sqn sqn = sqn_gen_.next();
+    rand_ = Bytes{0x10, static_cast<std::uint8_t>(sqn.seq & 0xFF),
+                  static_cast<std::uint8_t>(sqn.ind & 0xFF), 0x99};
+    xres_ = nas::f2_res(testing::kTestKey, rand_);
+    kasme_ = nas::derive_kasme(testing::kTestKey, rand_, sqn.value());
+    kasme_known_ = true;
+    net_ctx_.clear();  // new vector supersedes the session keys
+    nas::Autn autn;
+    autn.sqn_xor_ak = (sqn.value() ^ nas::f5_ak(testing::kTestKey, rand_)) & nas::kSqnMask;
+    autn.amf = 0x8000;
+    autn.mac = nas::f1_mac(testing::kTestKey, sqn.value(), rand_, autn.amf);
+    NasMessage req(MsgType::kAuthenticationRequest);
+    req.set_b("rand", rand_);
+    req.set_b("autn", autn.encode());
+    return nas::encode_plain(req);
+  }
+  if (input == "security_mode_command") {
+    NasMessage smc(MsgType::kSecurityModeCommand);
+    smc.set_u("eia", 1);
+    smc.set_u("eea", 1);
+    if (kasme_known_) {
+      if (!net_ctx_.valid) net_ctx_.establish(kasme_, 1, 1);
+      return protect(smc, net_ctx_, Direction::kDownlink, SecHdr::kIntegrity);
+    }
+    // No keys: the best the harness can do is an unverifiable SMC.
+    NasPdu pdu;
+    pdu.sec_hdr = SecHdr::kIntegrity;
+    pdu.payload = nas::encode_payload(smc);
+    pdu.mac = 0xBAD;
+    return pdu;
+  }
+  if (input == "attach_accept") {
+    NasMessage accept(MsgType::kAttachAccept);
+    accept.set_s("guti", "guti-" + std::to_string(++guti_serial_));
+    if (net_ctx_.valid) {
+      return protect(accept, net_ctx_, Direction::kDownlink, SecHdr::kIntegrityCiphered);
+    }
+    return nas::encode_plain(accept);
+  }
+  if (input == "guti_reallocation_command") {
+    NasMessage cmd(MsgType::kGutiReallocationCommand);
+    cmd.set_s("guti", "guti-" + std::to_string(++guti_serial_));
+    if (net_ctx_.valid) {
+      return protect(cmd, net_ctx_, Direction::kDownlink, SecHdr::kIntegrityCiphered);
+    }
+    return nas::encode_plain(cmd);
+  }
+  if (input == "identity_request") {
+    NasMessage req(MsgType::kIdentityRequest);
+    req.set_s("id_type", "imsi");
+    return nas::encode_plain(req);
+  }
+  if (input == "detach_request") {
+    NasMessage req(MsgType::kDetachRequest);
+    req.set_s("detach_type", "reattach_required");
+    if (net_ctx_.valid) {
+      return protect(req, net_ctx_, Direction::kDownlink, SecHdr::kIntegrityCiphered);
+    }
+    return nas::encode_plain(req);
+  }
+  if (input == "attach_reject") {
+    NasMessage reject(MsgType::kAttachReject);
+    reject.set_s("cause", "not_authorized");
+    return nas::encode_plain(reject);
+  }
+  if (input == "paging") {
+    NasMessage page(MsgType::kPaging);
+    page.set_s("identity", ue_->guti() != "none" ? ue_->guti() : ue_->imsi());
+    return nas::encode_plain(page);
+  }
+  return {};
+}
+
+std::string UeSul::observe(const std::vector<NasPdu>& responses) const {
+  if (responses.empty()) return "null";
+  const NasPdu& pdu = responses.front();
+  Bytes payload = pdu.payload;
+  if (pdu.sec_hdr == SecHdr::kIntegrityCiphered) {
+    if (!net_ctx_.valid) return "ciphered";
+    payload = nas::nas_cipher(net_ctx_.k_nas_enc, pdu.count, Direction::kUplink, payload);
+  }
+  auto msg = nas::decode_payload(payload);
+  return msg ? std::string(standard_name(msg->type)) : "undecodable";
+}
+
+std::string UeSul::step(const std::string& input) {
+  ++steps_;
+  bool ue_initiated = false;
+  NasPdu pdu = craft(input, &ue_initiated);
+  std::vector<NasPdu> responses =
+      ue_initiated ? ue_->power_on_attach() : ue_->handle_downlink(pdu);
+  std::string out = observe(responses);
+  // Keep the harness's shadow keys aligned with the UE's handshake: the UE
+  // completing SMC activates the session context on both ends.
+  if (input == "authentication_request" && out != "authentication_response") {
+    kasme_known_ = false;  // the UE refused the vector
+  }
+  return out;
+}
+
+std::vector<std::string> UeSul::run(const std::vector<std::string>& word) {
+  reset();
+  std::vector<std::string> outputs;
+  outputs.reserve(word.size());
+  for (const std::string& symbol : word) outputs.push_back(step(symbol));
+  return outputs;
+}
+
+}  // namespace procheck::learner

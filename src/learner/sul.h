@@ -1,0 +1,75 @@
+// System-under-learning harness for black-box active-automata learning —
+// the approach the paper contrasts ProChecker against (§I "Plausible
+// approaches", §VIII: active learning "is prohibitively expensive as [it
+// requires] a significantly high time and number of queries", and the
+// inferred FSM "is not sufficiently large and semantically rich").
+//
+// Following the protocol-state-fuzzing setup of de Ruiter & Poll (the
+// paper's [13]), the harness plays the network side: it holds the
+// subscriber credentials and enough session state to craft the *best
+// possible valid* instance of each input symbol (a fresh authentication
+// vector, a correctly MAC'd SMC, a properly ciphered attach_accept, ...),
+// sends it to the black-box UE, and maps the response to an output symbol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nas/crypto.h"
+#include "nas/security_context.h"
+#include "nas/sqn.h"
+#include "ue/ue_nas.h"
+
+namespace procheck::learner {
+
+/// The learning alphabet: abstract input symbols the harness concretizes.
+inline const std::vector<std::string>& input_alphabet() {
+  static const std::vector<std::string> kAlphabet = {
+      "power_on",          "authentication_request", "security_mode_command",
+      "attach_accept",     "identity_request",       "guti_reallocation_command",
+      "detach_request",    "attach_reject",          "paging",
+  };
+  return kAlphabet;
+}
+
+/// Black-box interface: reset to the initial state, then step through input
+/// symbols observing output symbols (the response message name or "null").
+class UeSul {
+ public:
+  explicit UeSul(ue::StackProfile profile);
+
+  void reset();
+  /// Executes one abstract input; returns the output symbol. Counts both
+  /// resets and steps (the cost metrics the paper's comparison is about).
+  std::string step(const std::string& input);
+
+  /// Runs a whole word from the initial state.
+  std::vector<std::string> run(const std::vector<std::string>& word);
+
+  long resets() const { return resets_; }
+  long steps() const { return steps_; }
+
+ private:
+  nas::NasPdu craft(const std::string& input, bool* ue_initiated);
+  std::string observe(const std::vector<nas::NasPdu>& responses) const;
+
+  ue::StackProfile profile_;
+  std::unique_ptr<ue::UeNas> ue_;
+
+  // Network-side crafting state (what a real network would hold).
+  nas::SqnGenerator sqn_gen_;
+  Bytes rand_;
+  std::uint64_t xres_ = 0;
+  std::uint64_t kasme_ = 0;
+  bool kasme_known_ = false;
+  nas::SecurityContext net_ctx_;
+  int guti_serial_ = 0;
+
+  long resets_ = 0;
+  long steps_ = 0;
+};
+
+}  // namespace procheck::learner

@@ -1,0 +1,315 @@
+#include "mc/checker.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+namespace procheck::mc {
+
+namespace {
+
+struct StateHash {
+  std::size_t operator()(const State& s) const {
+    std::size_t h = 0x9E3779B97F4A7C15ULL;
+    for (std::int32_t v : s) {
+      h ^= static_cast<std::size_t>(v) + 0x9E3779B9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::string CounterExample::render(const Model& model) const {
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (loop_start >= 0 && static_cast<int>(i) == loop_start) {
+      out += "  -- loop starts here --\n";
+    }
+    out += "  " + std::to_string(i + 1) + ". " + steps[i].label + "\n";
+    out += "       " + model.render_state(steps[i].post) + "\n";
+  }
+  if (loop_start >= 0) out += "  -- loop repeats forever --\n";
+  return out;
+}
+
+std::string CounterExample::to_dot(const Model& model) const {
+  std::string out = "digraph counterexample {\n  rankdir=TB;\n  node [shape=box];\n";
+  out += "  s0 [label=\"" + model.render_state(model.initial()) + "\", fontsize=9];\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    std::string id = "s" + std::to_string(i + 1);
+    out += "  " + id + " [label=\"" + model.render_state(steps[i].post) +
+           "\", fontsize=9];\n";
+    bool adversarial = steps[i].meta.actor == CommandMeta::Actor::kAdversary;
+    out += "  s" + std::to_string(i) + " -> " + id + " [label=\"" + steps[i].label +
+           "\"" + (adversarial ? ", color=red, fontcolor=red" : "") + "];\n";
+  }
+  if (loop_start >= 0 && !steps.empty()) {
+    out += "  s" + std::to_string(steps.size()) + " -> s" + std::to_string(loop_start) +
+           " [style=dashed, label=\"loop\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<const TraceStep*> CounterExample::adversary_steps() const {
+  std::vector<const TraceStep*> out;
+  for (const TraceStep& s : steps) {
+    if (s.meta.actor == CommandMeta::Actor::kAdversary) out.push_back(&s);
+  }
+  return out;
+}
+
+// --- Safety --------------------------------------------------------------
+
+namespace {
+
+/// Shared BFS core: explores until `stop(pre, cmd, post)` says the offending
+/// edge was found (post may equal pre for state-violations encoded as edge
+/// checks on arrival).
+std::optional<CounterExample> bfs_search(
+    const Model& model, const CheckOptions& options, CheckStats* stats,
+    const std::function<bool(const State&)>& bad_state,
+    const EdgePred* bad_edge) {
+  Timer timer;
+  struct NodeInfo {
+    std::int64_t parent = -1;
+    std::string label;
+    CommandMeta meta;
+  };
+  std::unordered_map<State, std::int64_t, StateHash> index;
+  std::vector<State> states;
+  std::vector<NodeInfo> info;
+  std::deque<std::int64_t> queue;
+
+  auto build_trace = [&](std::int64_t node, std::optional<TraceStep> extra) {
+    std::vector<TraceStep> rev;
+    for (std::int64_t at = node; at >= 0 && info[at].parent >= 0; at = info[at].parent) {
+      rev.push_back({info[at].label, info[at].meta, states[at]});
+    }
+    CounterExample cex;
+    cex.steps.assign(rev.rbegin(), rev.rend());
+    if (extra) cex.steps.push_back(std::move(*extra));
+    return cex;
+  };
+
+  State init = model.initial();
+  states.push_back(init);
+  info.push_back({});
+  index.emplace(init, 0);
+  queue.push_back(0);
+
+  if (bad_state && bad_state(init)) {
+    if (stats) stats->seconds = timer.seconds(), stats->states_explored = 1;
+    return CounterExample{};
+  }
+
+  std::optional<CounterExample> result;
+  while (!queue.empty() && !result) {
+    std::int64_t at = queue.front();
+    queue.pop_front();
+    State current = states[at];  // copy: `states` may reallocate in the callback
+    model.successors(current, [&](const State& next, const Command& cmd) {
+      if (result) return;
+      if (options.allowed && !options.allowed(current, cmd, next)) return;
+      if (stats) ++stats->edges_explored;
+      if (bad_edge && (*bad_edge)(current, cmd, next)) {
+        result = build_trace(at, TraceStep{cmd.label, cmd.meta, next});
+        return;
+      }
+      auto [it, inserted] = index.emplace(next, static_cast<std::int64_t>(states.size()));
+      if (!inserted) return;
+      if (states.size() >= options.max_states) {
+        if (stats) stats->bound_hit = true;
+        index.erase(it);
+        return;
+      }
+      states.push_back(next);
+      info.push_back({at, cmd.label, cmd.meta});
+      if (bad_state && bad_state(next)) {
+        result = build_trace(static_cast<std::int64_t>(states.size()) - 1, std::nullopt);
+        return;
+      }
+      queue.push_back(static_cast<std::int64_t>(states.size()) - 1);
+    });
+  }
+
+  if (stats) {
+    stats->states_explored = states.size();
+    stats->seconds = timer.seconds();
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<CounterExample> Checker::check_invariant(const Expr& good, CheckStats* stats,
+                                                       const CheckOptions& options) const {
+  return bfs_search(
+      model_, options, stats, [&](const State& s) { return !good.eval(s); }, nullptr);
+}
+
+std::optional<CounterExample> Checker::check_edge_never(const EdgePred& bad, CheckStats* stats,
+                                                        const CheckOptions& options) const {
+  return bfs_search(model_, options, stats, nullptr, &bad);
+}
+
+// --- Liveness --------------------------------------------------------------
+//
+// Product construction with a one-bit monitor: pending := (pending ∨
+// trigger(edge)) ∧ ¬response(edge). A violation of G(trigger → F response)
+// is a reachable cycle lying entirely inside pending=true nodes (any
+// response inside the cycle would clear the bit). Deadlocked model states
+// stutter, so a dead end with a pending obligation is also a violation.
+
+std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
+                                                      const EdgePred& response,
+                                                      CheckStats* stats,
+                                                      const CheckOptions& options) const {
+  Timer timer;
+  struct Node {
+    State state;
+    bool pending;
+  };
+  struct NodeInfo {
+    std::int64_t parent = -1;
+    std::string label;
+    CommandMeta meta;
+  };
+  struct ProductHash {
+    std::size_t operator()(const std::pair<State, bool>& n) const {
+      return StateHash{}(n.first) * 2 + (n.second ? 1 : 0);
+    }
+  };
+
+  std::unordered_map<std::pair<State, bool>, std::int64_t, ProductHash> index;
+  std::vector<Node> nodes;
+  std::vector<NodeInfo> info;
+  // Edges among pending=true nodes (candidates for the violating cycle).
+  std::vector<std::vector<std::pair<std::int64_t, std::size_t>>> pending_edges;
+  struct EdgeLabel {
+    std::string label;
+    CommandMeta meta;
+  };
+  std::vector<EdgeLabel> edge_labels;
+
+  std::deque<std::int64_t> queue;
+  auto add_node = [&](State s, bool pending, std::int64_t parent, std::string label,
+                      CommandMeta meta) -> std::int64_t {
+    auto key = std::make_pair(s, pending);
+    auto [it, inserted] = index.emplace(key, static_cast<std::int64_t>(nodes.size()));
+    if (!inserted) return it->second;
+    if (nodes.size() >= options.max_states) {
+      if (stats) stats->bound_hit = true;
+      index.erase(it);
+      return -1;
+    }
+    nodes.push_back({std::move(s), pending});
+    info.push_back({parent, std::move(label), std::move(meta)});
+    pending_edges.emplace_back();
+    queue.push_back(static_cast<std::int64_t>(nodes.size()) - 1);
+    return static_cast<std::int64_t>(nodes.size()) - 1;
+  };
+
+  add_node(model_.initial(), false, -1, {}, {});
+
+  while (!queue.empty()) {
+    std::int64_t at = queue.front();
+    queue.pop_front();
+    const State current = nodes[at].state;
+    const bool pending = nodes[at].pending;
+
+    bool any_successor = false;
+    model_.successors(current, [&](const State& next, const Command& cmd) {
+      if (options.allowed && !options.allowed(current, cmd, next)) return;
+      any_successor = true;
+      if (stats) ++stats->edges_explored;
+      bool trig = trigger(current, cmd, next);
+      bool resp = response(current, cmd, next);
+      bool next_pending = (pending || trig) && !resp;
+      std::int64_t to = add_node(next, next_pending, at, cmd.label, cmd.meta);
+      if (to < 0) return;
+      if (pending && next_pending) {
+        edge_labels.push_back({cmd.label, cmd.meta});
+        pending_edges[at].push_back({to, edge_labels.size() - 1});
+      }
+    });
+    if (!any_successor && pending) {
+      // Deadlock with an unanswered trigger: stutter self-loop.
+      edge_labels.push_back({"(stutter)", {}});
+      pending_edges[at].push_back({at, edge_labels.size() - 1});
+    }
+  }
+
+  // Cycle detection restricted to pending=true nodes (iterative DFS).
+  std::vector<std::uint8_t> color(nodes.size(), 0);  // 0 white, 1 grey, 2 black
+  for (std::int64_t root = 0; root < static_cast<std::int64_t>(nodes.size()); ++root) {
+    if (!nodes[root].pending || color[root] != 0) continue;
+    struct Frame {
+      std::int64_t node;
+      std::size_t next_edge = 0;
+      std::size_t via_label = 0;  // edge label used to reach this node
+    };
+    std::vector<Frame> stack{{root, 0, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_edge >= pending_edges[f.node].size()) {
+        color[f.node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      auto [to, label_idx] = pending_edges[f.node][f.next_edge++];
+      if (color[to] == 1) {
+        // Found a cycle: stack from `to` upward + the closing edge.
+        CounterExample cex;
+        // Prefix: initial -> `to` via BFS parents.
+        std::vector<TraceStep> rev;
+        for (std::int64_t n = to; n >= 0 && info[n].parent >= 0; n = info[n].parent) {
+          rev.push_back({info[n].label, info[n].meta, nodes[n].state});
+        }
+        cex.steps.assign(rev.rbegin(), rev.rend());
+        cex.loop_start = static_cast<int>(cex.steps.size());
+        // Loop body: the DFS stack segment from `to` to the top, then back.
+        std::size_t start = 0;
+        for (std::size_t i = 0; i < stack.size(); ++i) {
+          if (stack[i].node == to) start = i;
+        }
+        for (std::size_t i = start + 1; i < stack.size(); ++i) {
+          cex.steps.push_back({edge_labels[stack[i].via_label].label,
+                               edge_labels[stack[i].via_label].meta, nodes[stack[i].node].state});
+        }
+        cex.steps.push_back({edge_labels[label_idx].label, edge_labels[label_idx].meta,
+                             nodes[to].state});
+        if (stats) {
+          stats->states_explored = nodes.size();
+          stats->seconds = timer.seconds();
+        }
+        return cex;
+      }
+      if (color[to] == 0) {
+        color[to] = 1;
+        stack.push_back({to, 0, label_idx});
+      }
+    }
+  }
+
+  if (stats) {
+    stats->states_explored = nodes.size();
+    stats->seconds = timer.seconds();
+  }
+  return std::nullopt;
+}
+
+}  // namespace procheck::mc

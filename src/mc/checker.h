@@ -1,0 +1,79 @@
+// Explicit-state checker over mc::Model: invariants (G p), never-claims on
+// edges, and response liveness (G(trigger → F response)) with counterexample
+// traces — the verification features of nuXmv the paper's pipeline uses.
+//
+// The CEGAR loop's "property refinement" is realized by the `allowed` edge
+// filter in CheckOptions: adversary actions the cryptographic verifier
+// adjudicated infeasible are excluded from the next verification iteration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/model.h"
+
+namespace procheck::mc {
+
+struct TraceStep {
+  std::string label;
+  CommandMeta meta;
+  State post;
+};
+
+struct CounterExample {
+  std::vector<TraceStep> steps;  // from the initial state
+  /// For liveness violations, index into `steps` where the lasso loop
+  /// begins; -1 for finite safety traces.
+  int loop_start = -1;
+
+  std::string render(const Model& model) const;
+  /// Graphviz rendering of the trace as a message-sequence-like chain
+  /// (adversary steps highlighted; the lasso loop marked).
+  std::string to_dot(const Model& model) const;
+  /// The adversary steps of the trace (what the CPV must validate).
+  std::vector<const TraceStep*> adversary_steps() const;
+};
+
+struct CheckStats {
+  std::size_t states_explored = 0;
+  std::size_t edges_explored = 0;
+  double seconds = 0.0;
+  bool bound_hit = false;  // exploration stopped at max_states
+};
+
+/// Edge predicate over (pre-state, command, post-state).
+using EdgePred = std::function<bool(const State&, const Command&, const State&)>;
+
+struct CheckOptions {
+  std::size_t max_states = 2'000'000;
+  /// When set, edges for which this returns false are pruned (CEGAR
+  /// refinement of the threat model).
+  EdgePred allowed;
+};
+
+class Checker {
+ public:
+  explicit Checker(const Model& model) : model_(model) {}
+
+  /// G good — returns a finite trace to a state violating `good`.
+  std::optional<CounterExample> check_invariant(const Expr& good, CheckStats* stats,
+                                                const CheckOptions& options = {}) const;
+
+  /// "bad edge never fires" — returns a finite trace ending with the edge.
+  std::optional<CounterExample> check_edge_never(const EdgePred& bad, CheckStats* stats,
+                                                 const CheckOptions& options = {}) const;
+
+  /// G(trigger → F response) over edges — returns a lasso trace on which a
+  /// trigger fires and the loop never answers it. Deadlocked states stutter.
+  std::optional<CounterExample> check_response(const EdgePred& trigger,
+                                               const EdgePred& response, CheckStats* stats,
+                                               const CheckOptions& options = {}) const;
+
+ private:
+  const Model& model_;
+};
+
+}  // namespace procheck::mc

@@ -1,0 +1,521 @@
+#include "mme/mme_nas.h"
+
+#include "nas/crypto.h"
+
+namespace procheck::mme {
+
+using nas::Direction;
+using nas::EmmCause;
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+using nas::SecHdr;
+
+std::string_view to_string(MmeState s) {
+  switch (s) {
+    case MmeState::kDeregistered:
+      return "MME_DEREGISTERED";
+    case MmeState::kCommonProcedureInitiated:
+      return "MME_COMMON_PROCEDURE_INITIATED";
+    case MmeState::kWaitSmcComplete:
+      return "MME_WAIT_SMC_COMPLETE";
+    case MmeState::kWaitAttachComplete:
+      return "MME_WAIT_ATTACH_COMPLETE";
+    case MmeState::kRegistered:
+      return "MME_REGISTERED";
+    case MmeState::kDeregisteredInitiated:
+      return "MME_DEREGISTERED_INITIATED";
+  }
+  return "MME_DEREGISTERED";
+}
+
+MmeNas::MmeNas(std::uint64_t seed, instrument::TraceLogger* trace)
+    : rng_(seed), trace_(trace) {}
+
+void MmeNas::provision_subscriber(const std::string& imsi, std::uint64_t permanent_key) {
+  hss_[imsi] = permanent_key;
+}
+
+void MmeNas::debug_set_sqn(const std::string& imsi, std::uint64_t seq, std::uint32_t ind) {
+  hss_sqn_[imsi] = nas::SqnGenerator(seq, ind);
+}
+
+MmeNas::Session& MmeNas::session(int conn_id) { return sessions_[conn_id]; }
+
+const MmeNas::Session* MmeNas::find_session(int conn_id) const {
+  auto it = sessions_.find(conn_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+MmeState MmeNas::state(int conn_id) const {
+  const Session* s = find_session(conn_id);
+  return s ? s->state : MmeState::kDeregistered;
+}
+
+const std::string& MmeNas::guti(int conn_id) const {
+  static const std::string kNone = "none";
+  const Session* s = find_session(conn_id);
+  return s ? s->guti : kNone;
+}
+
+bool MmeNas::has_pending_procedure(int conn_id) const {
+  const Session* s = find_session(conn_id);
+  return s && s->pending.has_value();
+}
+
+const nas::SecurityContext* MmeNas::security(int conn_id) const {
+  const Session* s = find_session(conn_id);
+  return s ? &s->sec : nullptr;
+}
+
+// --- Trace helpers -----------------------------------------------------------
+
+void MmeNas::trace_enter(std::string_view fn) {
+  if (trace_) trace_->enter(fn);
+}
+
+void MmeNas::trace_state(int conn_id) {
+  if (!trace_) return;
+  trace_->global("mme_state", to_string(session(conn_id).state));
+  trace_->global("assigned_guti", session(conn_id).guti);
+}
+
+void MmeNas::trace_local(std::string_view name, std::uint64_t value) {
+  if (trace_) trace_->local(name, value);
+}
+
+// --- Send helpers ------------------------------------------------------------
+
+Outgoing MmeNas::send_plain(int conn_id, NasMessage msg) {
+  trace_enter(std::string("send_") + std::string(standard_name(msg.type)));
+  return {conn_id, encode_plain(msg)};
+}
+
+Outgoing MmeNas::send_protected(int conn_id, NasMessage msg, SecHdr hdr) {
+  trace_enter(std::string("send_") + std::string(standard_name(msg.type)));
+  Session& s = session(conn_id);
+  return {conn_id, protect(msg, s.sec, Direction::kDownlink, hdr)};
+}
+
+std::string MmeNas::next_guti(Session& s) {
+  s.guti_serial = ++guti_counter_;
+  return "guti-" + std::to_string(s.guti_serial);
+}
+
+void MmeNas::arm_timer(int conn_id, const NasPdu& pdu, MsgType awaiting) {
+  Session& s = session(conn_id);
+  s.pending = PendingCommand{pdu, awaiting, kTimerPeriod, 0};
+}
+
+void MmeNas::complete_pending(int conn_id, MsgType completion) {
+  Session& s = session(conn_id);
+  if (s.pending && s.pending->awaiting_type == completion) {
+    s.pending.reset();
+  }
+}
+
+Outgoing MmeNas::make_authentication_request(int conn_id) {
+  Session& s = session(conn_id);
+  const std::uint64_t k = hss_.at(s.imsi);
+  nas::Sqn sqn = hss_sqn_[s.imsi].next();
+  s.rand = rng_.next_bytes(16);
+  s.xres = nas::f2_res(k, s.rand);
+  s.kasme = nas::derive_kasme(k, s.rand, sqn.value());
+
+  nas::Autn autn;
+  autn.sqn_xor_ak = (sqn.value() ^ nas::f5_ak(k, s.rand)) & nas::kSqnMask;
+  autn.amf = 0x8000;
+  autn.mac = nas::f1_mac(k, sqn.value(), s.rand, autn.amf);
+
+  NasMessage req(MsgType::kAuthenticationRequest);
+  req.set_b("rand", s.rand);
+  req.set_b("autn", autn.encode());
+  s.state = MmeState::kCommonProcedureInitiated;
+  trace_state(conn_id);
+  return send_plain(conn_id, std::move(req));
+}
+
+// --- Uplink routing ----------------------------------------------------------
+
+std::vector<Outgoing> MmeNas::handle_uplink(int conn_id, const NasPdu& pdu) {
+  trace_enter("s1ap_msg_handler");
+  Session& s = session(conn_id);
+
+  NasMessage msg;
+  bool was_protected = pdu.sec_hdr != SecHdr::kPlain;
+  if (was_protected) {
+    nas::UnprotectResult res = unprotect(pdu, s.sec, Direction::kUplink);
+    if (res.status != nas::UnprotectResult::Status::kOk) {
+      ++protected_discards_;
+      trace_local("mac_valid", 0);
+      return {};
+    }
+    // Conformant replay protection: strictly increasing uplink COUNT.
+    if (s.last_ul && pdu.count <= *s.last_ul) {
+      trace_local("count_ok", 0);
+      return {};
+    }
+    s.last_ul = pdu.count;
+    msg = std::move(res.msg);
+  } else {
+    auto decoded = nas::decode_payload(pdu.payload);
+    if (!decoded) {
+      trace_local("well_formed", 0);
+      return {};
+    }
+    msg = std::move(*decoded);
+    // Only initial/identity/failure messages are acceptable unprotected.
+    switch (msg.type) {
+      case MsgType::kAttachRequest:
+      case MsgType::kIdentityResponse:
+      case MsgType::kAuthenticationResponse:
+      case MsgType::kAuthenticationFailure:
+      case MsgType::kDetachRequest:
+      case MsgType::kTauRequest:
+      case MsgType::kServiceRequest:
+        break;
+      default:
+        trace_local("plain_allowed", 0);
+        return {};
+    }
+  }
+
+  switch (msg.type) {
+    case MsgType::kAttachRequest:
+      return recv_attach_request(conn_id, msg, pdu, was_protected);
+    case MsgType::kAuthenticationResponse:
+      return recv_authentication_response(conn_id, msg);
+    case MsgType::kAuthenticationFailure:
+      return recv_authentication_failure(conn_id, msg);
+    case MsgType::kSecurityModeComplete:
+      return recv_security_mode_complete(conn_id);
+    case MsgType::kSecurityModeReject:
+      trace_enter("recv_security_mode_reject");
+      session(conn_id).state = MmeState::kDeregistered;
+      trace_state(conn_id);
+      return {};
+    case MsgType::kAttachComplete:
+      return recv_attach_complete(conn_id);
+    case MsgType::kIdentityResponse:
+      return recv_identity_response(conn_id, msg);
+    case MsgType::kDetachRequest:
+      return recv_detach_request(conn_id);
+    case MsgType::kDetachAccept:
+      return recv_detach_accept(conn_id);
+    case MsgType::kTauRequest:
+      return recv_tau_request(conn_id, msg);
+    case MsgType::kServiceRequest:
+      return recv_service_request(conn_id, msg);
+    case MsgType::kGutiReallocationComplete:
+      return recv_guti_reallocation_complete(conn_id);
+    case MsgType::kConfigurationUpdateComplete:
+      return recv_configuration_update_complete(conn_id);
+    default:
+      trace_local("unexpected_message", 1);
+      return {};
+  }
+}
+
+// --- Incoming handlers -------------------------------------------------------
+
+std::vector<Outgoing> MmeNas::recv_attach_request(int conn_id, const NasMessage& msg,
+                                                  const NasPdu&, bool was_protected) {
+  trace_enter("recv_attach_request");
+  Session& s = session(conn_id);
+  const std::string identity = msg.get_s("identity");
+
+  if (was_protected && s.sec.valid && s.state != MmeState::kDeregisteredInitiated) {
+    // Integrity-verified attach with an existing context: fast re-attach
+    // without a fresh AKA run (the path srsUE's I4 exploits end-to-end).
+    trace_local("ctx_reuse", 1);
+    s.state = MmeState::kWaitAttachComplete;
+    NasMessage accept(MsgType::kAttachAccept);
+    accept.set_s("guti", s.guti != "none" ? s.guti : next_guti(s));
+    s.guti = accept.get_s("guti");
+    Outgoing out = send_protected(conn_id, accept);
+    arm_timer(conn_id, out.pdu, MsgType::kAttachComplete);
+    trace_state(conn_id);
+    return {out};
+  }
+
+  // Fresh attach: identify the subscriber, then authenticate.
+  s = Session{};
+  if (hss_.count(identity) > 0) {
+    s.imsi = identity;
+  } else {
+    // Unknown identity (e.g. a GUTI we no longer map): identification.
+    trace_local("identity_known", 0);
+    NasMessage idreq(MsgType::kIdentityRequest);
+    idreq.set_s("id_type", "imsi");
+    s.state = MmeState::kCommonProcedureInitiated;
+    trace_state(conn_id);
+    return {send_plain(conn_id, std::move(idreq))};
+  }
+  trace_local("identity_known", 1);
+  return {make_authentication_request(conn_id)};
+}
+
+std::vector<Outgoing> MmeNas::recv_identity_response(int conn_id, const NasMessage& msg) {
+  trace_enter("recv_identity_response");
+  Session& s = session(conn_id);
+  const std::string identity = msg.get_s("identity");
+  if (s.state == MmeState::kCommonProcedureInitiated && s.imsi.empty()) {
+    if (hss_.count(identity) == 0) {
+      NasMessage reject(MsgType::kAttachReject);
+      reject.set_s("cause", std::string(to_string(EmmCause::kImsiUnknown)));
+      s.state = MmeState::kDeregistered;
+      trace_state(conn_id);
+      return {send_plain(conn_id, std::move(reject))};
+    }
+    s.imsi = identity;
+    return {make_authentication_request(conn_id)};
+  }
+  complete_pending(conn_id, MsgType::kIdentityResponse);
+  return {};
+}
+
+std::vector<Outgoing> MmeNas::recv_authentication_response(int conn_id, const NasMessage& msg) {
+  trace_enter("recv_authentication_response");
+  Session& s = session(conn_id);
+  if (s.state != MmeState::kCommonProcedureInitiated) {
+    // Unsolicited response (no outstanding challenge): ignored.
+    trace_local("state_ok", 0);
+    return {};
+  }
+  const std::uint64_t res = msg.get_u("res");
+  const bool res_ok = res == s.xres;
+  trace_local("res_valid", res_ok ? 1 : 0);
+  if (!res_ok) {
+    NasMessage reject(MsgType::kAuthenticationReject);
+    s.state = MmeState::kDeregistered;
+    trace_state(conn_id);
+    return {send_plain(conn_id, std::move(reject))};
+  }
+
+  // Activate NAS security and run security-mode control.
+  s.sec.establish(s.kasme, /*eia=*/1, /*eea=*/1);
+  s.last_ul.reset();
+  s.state = MmeState::kWaitSmcComplete;
+  NasMessage smc(MsgType::kSecurityModeCommand);
+  smc.set_u("eia", 1);
+  smc.set_u("eea", 1);
+  smc.set_u("replayed_ue_capability", 0x7);
+  trace_state(conn_id);
+  // SMC itself is integrity-protected but not ciphered (the UE cannot
+  // decipher before learning the algorithms).
+  return {send_protected(conn_id, std::move(smc), SecHdr::kIntegrity)};
+}
+
+std::vector<Outgoing> MmeNas::recv_authentication_failure(int conn_id, const NasMessage& msg) {
+  trace_enter("recv_authentication_failure");
+  Session& s = session(conn_id);
+  const std::string cause = msg.get_s("cause");
+  trace_local("cause", cause == "synch_failure" ? 21 : 20);
+
+  if (cause == "synch_failure") {
+    auto auts = nas::Auts::decode(msg.get_b("auts"));
+    if (!auts || s.imsi.empty()) return {};
+    const std::uint64_t k = hss_.at(s.imsi);
+    const std::uint64_t sqn_ms = (auts->sqn_ms_xor_ak ^ nas::f5star_ak(k, s.rand)) & nas::kSqnMask;
+    if (nas::f1star_mac(k, sqn_ms, s.rand) != auts->mac_s) {
+      trace_local("auts_valid", 0);
+      return {};
+    }
+    trace_local("auts_valid", 1);
+    // Resynchronize the HSS sequence counter to the USIM's view.
+    hss_sqn_[s.imsi] = nas::SqnGenerator(nas::Sqn::from_value(sqn_ms).seq,
+                                         nas::Sqn::from_value(sqn_ms).ind);
+    return {make_authentication_request(conn_id)};
+  }
+
+  // MAC failure: one fresh retry.
+  return {make_authentication_request(conn_id)};
+}
+
+std::vector<Outgoing> MmeNas::recv_security_mode_complete(int conn_id) {
+  trace_enter("recv_security_mode_complete");
+  Session& s = session(conn_id);
+  if (s.state != MmeState::kWaitSmcComplete) {
+    trace_local("state_ok", 0);
+    return {};
+  }
+  s.state = MmeState::kWaitAttachComplete;
+  NasMessage accept(MsgType::kAttachAccept);
+  s.guti = next_guti(s);
+  accept.set_s("guti", s.guti);
+  // ESM piggyback (TS 24.301 §6.4.1): the default EPS bearer context
+  // activation rides on the attach accept.
+  accept.set_u("esm_bearer_id", 5);
+  Outgoing out = send_protected(conn_id, accept);
+  arm_timer(conn_id, out.pdu, MsgType::kAttachComplete);
+  trace_state(conn_id);
+  return {out};
+}
+
+std::vector<Outgoing> MmeNas::recv_attach_complete(int conn_id) {
+  trace_enter("recv_attach_complete");
+  Session& s = session(conn_id);
+  complete_pending(conn_id, MsgType::kAttachComplete);
+  s.state = MmeState::kRegistered;
+  if (trace_) trace_->local("esm_bearer_active", 1);
+  trace_state(conn_id);
+  return {};
+}
+
+std::vector<Outgoing> MmeNas::recv_detach_request(int conn_id) {
+  trace_enter("recv_detach_request");
+  Session& s = session(conn_id);
+  s.state = MmeState::kDeregistered;
+  s.sec.clear();
+  s.last_ul.reset();
+  trace_state(conn_id);
+  return {send_plain(conn_id, NasMessage(MsgType::kDetachAccept))};
+}
+
+std::vector<Outgoing> MmeNas::recv_detach_accept(int conn_id) {
+  trace_enter("recv_detach_accept");
+  Session& s = session(conn_id);
+  complete_pending(conn_id, MsgType::kDetachAccept);
+  s.state = MmeState::kDeregistered;
+  s.sec.clear();
+  s.last_ul.reset();
+  trace_state(conn_id);
+  return {};
+}
+
+std::vector<Outgoing> MmeNas::recv_tau_request(int conn_id, const NasMessage&) {
+  trace_enter("recv_tracking_area_update_request");
+  Session& s = session(conn_id);
+  if (!s.sec.valid || s.state != MmeState::kRegistered) {
+    NasMessage reject(MsgType::kTauReject);
+    reject.set_s("cause", std::string(to_string(EmmCause::kNotAuthorized)));
+    trace_state(conn_id);
+    return {send_plain(conn_id, std::move(reject))};
+  }
+  NasMessage accept(MsgType::kTauAccept);
+  trace_state(conn_id);
+  return {send_protected(conn_id, std::move(accept))};
+}
+
+std::vector<Outgoing> MmeNas::recv_service_request(int conn_id, const NasMessage&) {
+  trace_enter("recv_service_request");
+  Session& s = session(conn_id);
+  if (!s.sec.valid || s.state != MmeState::kRegistered) {
+    NasMessage reject(MsgType::kServiceReject);
+    reject.set_s("cause", std::string(to_string(EmmCause::kNotAuthorized)));
+    trace_state(conn_id);
+    return {send_plain(conn_id, std::move(reject))};
+  }
+  // Service granted: confirmed to the UE with an EMM information message
+  // (stands in for the user-plane bearer establishment).
+  NasMessage info(MsgType::kEmmInformation);
+  trace_state(conn_id);
+  return {send_protected(conn_id, std::move(info))};
+}
+
+std::vector<Outgoing> MmeNas::recv_guti_reallocation_complete(int conn_id) {
+  trace_enter("recv_guti_reallocation_complete");
+  Session& s = session(conn_id);
+  if (s.pending && s.pending->awaiting_type == MsgType::kGutiReallocationComplete) {
+    // Adopt the reallocated GUTI only on completion.
+    s.guti = "guti-" + std::to_string(s.guti_serial);
+    s.pending.reset();
+  }
+  trace_state(conn_id);
+  return {};
+}
+
+std::vector<Outgoing> MmeNas::recv_configuration_update_complete(int conn_id) {
+  trace_enter("recv_configuration_update_complete");
+  complete_pending(conn_id, MsgType::kConfigurationUpdateComplete);
+  trace_state(conn_id);
+  return {};
+}
+
+// --- Network-initiated procedures --------------------------------------------
+
+std::vector<Outgoing> MmeNas::start_guti_reallocation(int conn_id) {
+  Session& s = session(conn_id);
+  if (s.state != MmeState::kRegistered || !s.sec.valid) return {};
+  NasMessage cmd(MsgType::kGutiReallocationCommand);
+  cmd.set_s("guti", next_guti(s));  // adopted only on completion
+  Outgoing out = send_protected(conn_id, std::move(cmd));
+  arm_timer(conn_id, out.pdu, MsgType::kGutiReallocationComplete);
+  return {out};
+}
+
+std::vector<Outgoing> MmeNas::start_identity_request(int conn_id) {
+  Session& s = session(conn_id);
+  if (!s.sec.valid) return {};
+  NasMessage req(MsgType::kIdentityRequest);
+  req.set_s("id_type", "imsi");
+  Outgoing out = send_protected(conn_id, std::move(req));
+  arm_timer(conn_id, out.pdu, MsgType::kIdentityResponse);
+  return {out};
+}
+
+std::vector<Outgoing> MmeNas::start_detach(int conn_id) {
+  Session& s = session(conn_id);
+  if (s.state != MmeState::kRegistered) return {};
+  s.state = MmeState::kDeregisteredInitiated;
+  NasMessage req(MsgType::kDetachRequest);
+  req.set_s("detach_type", "reattach_required");
+  Outgoing out = send_protected(conn_id, std::move(req));
+  arm_timer(conn_id, out.pdu, MsgType::kDetachAccept);
+  return {out};
+}
+
+std::vector<Outgoing> MmeNas::start_configuration_update(int conn_id) {
+  Session& s = session(conn_id);
+  if (s.state != MmeState::kRegistered || !s.sec.valid) return {};
+  NasMessage cmd(MsgType::kConfigurationUpdateCommand);
+  cmd.set_u("config_serial", static_cast<std::uint64_t>(guti_counter_ + 1000));
+  Outgoing out = send_protected(conn_id, std::move(cmd));
+  arm_timer(conn_id, out.pdu, MsgType::kConfigurationUpdateComplete);
+  return {out};
+}
+
+std::vector<Outgoing> MmeNas::start_paging(int conn_id) {
+  Session& s = session(conn_id);
+  NasMessage page(MsgType::kPaging);
+  page.set_s("identity", s.guti != "none" ? s.guti : s.imsi);
+  return {send_plain(conn_id, std::move(page))};
+}
+
+// --- Timers ------------------------------------------------------------------
+
+std::vector<Outgoing> MmeNas::tick() {
+  std::vector<Outgoing> out;
+  for (auto& [conn_id, s] : sessions_) {
+    if (!s.pending) continue;
+    if (--s.pending->ticks_left > 0) continue;
+    if (s.pending->retransmissions < kMaxRetransmissions) {
+      ++s.pending->retransmissions;
+      s.pending->ticks_left = kTimerPeriod;
+      // Retransmission is re-protected with a fresh downlink COUNT so a
+      // conformant receiver does not treat it as a replay.
+      if (s.pending->pdu.sec_hdr == SecHdr::kPlain) {
+        out.push_back({conn_id, s.pending->pdu});
+      } else {
+        auto msg = unprotect(s.pending->pdu, s.sec, Direction::kDownlink);
+        // The stored PDU was produced by this session's context; decode
+        // cannot fail unless the context was re-established meanwhile.
+        if (msg.status == nas::UnprotectResult::Status::kOk) {
+          SecHdr hdr = s.pending->pdu.sec_hdr;
+          s.pending->pdu = protect(msg.msg, s.sec, Direction::kDownlink, hdr);
+          out.push_back({conn_id, s.pending->pdu});
+        }
+      }
+    } else {
+      // Fifth expiry: abort the procedure (TS 24.301 T3450 discipline). The
+      // old GUTI / security context stays in use — P3's impact.
+      s.pending.reset();
+      ++procedures_aborted_;
+      if (s.state == MmeState::kWaitAttachComplete) s.state = MmeState::kRegistered;
+      if (s.state == MmeState::kDeregisteredInitiated) s.state = MmeState::kRegistered;
+    }
+  }
+  return out;
+}
+
+}  // namespace procheck::mme

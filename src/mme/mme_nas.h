@@ -1,0 +1,170 @@
+// MME-side NAS (EMM) protocol implementation.
+//
+// Serves as the core-network substrate for the testbed and conformance
+// runs: subscriber database, authentication-vector generation (with the TS
+// 33.102 Annex C SQN generator), security-mode control, attach/detach/TAU
+// service handling, paging, and the network-initiated "common procedures"
+// (GUTI reallocation, identity request, configuration update) with the
+// bounded timer-retransmission discipline (T3450-style: retransmit on each
+// expiry, abort after the fifth) whose abortability P3 exploits.
+//
+// The paper did not have core-network source access and used a manually
+// built MME model for checking; this implementation exists so that the
+// conformance suite and the testbed have a live peer, and so the extractor
+// can also be demonstrated on the network side (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "instrument/trace_log.h"
+#include "nas/messages.h"
+#include "nas/security_context.h"
+#include "nas/sqn.h"
+
+namespace procheck::mme {
+
+/// MME-side per-association EMM states (mirrors TS 24.301 §5.1.3.4).
+enum class MmeState : std::uint8_t {
+  kDeregistered,
+  kCommonProcedureInitiated,  // authentication outstanding
+  kWaitSmcComplete,
+  kWaitAttachComplete,
+  kRegistered,
+  kDeregisteredInitiated,
+};
+
+std::string_view to_string(MmeState s);
+
+/// state_signatures for extracting the MME-side FSM.
+inline constexpr std::string_view kMmeStateNames[] = {
+    "MME_DEREGISTERED",
+    "MME_COMMON_PROCEDURE_INITIATED",
+    "MME_WAIT_SMC_COMPLETE",
+    "MME_WAIT_ATTACH_COMPLETE",
+    "MME_REGISTERED",
+    "MME_DEREGISTERED_INITIATED",
+};
+
+/// A downlink PDU addressed to one connection (the testbed routes it).
+struct Outgoing {
+  int conn_id = 0;
+  nas::NasPdu pdu;
+};
+
+class MmeNas {
+ public:
+  explicit MmeNas(std::uint64_t seed = 0x4D4D45ULL,
+                  instrument::TraceLogger* trace = nullptr);
+
+  /// Registers a subscriber (IMSI + permanent key) in the HSS database.
+  void provision_subscriber(const std::string& imsi, std::uint64_t permanent_key);
+
+  /// Uplink entry point for one connection.
+  std::vector<Outgoing> handle_uplink(int conn_id, const nas::NasPdu& pdu);
+
+  // --- Network-initiated procedures (timer-supervised, ×4 retransmissions).
+  std::vector<Outgoing> start_guti_reallocation(int conn_id);
+  std::vector<Outgoing> start_identity_request(int conn_id);
+  std::vector<Outgoing> start_detach(int conn_id);
+  std::vector<Outgoing> start_configuration_update(int conn_id);
+  std::vector<Outgoing> start_paging(int conn_id);
+
+  /// Advances logical time by one tick; expiring timers retransmit their
+  /// command, and on the fifth expiry the procedure is aborted (TS 24.301
+  /// T3450 discipline — the P3 attack surface).
+  std::vector<Outgoing> tick();
+
+  // --- Observability.
+  MmeState state(int conn_id) const;
+  const std::string& guti(int conn_id) const;
+  bool has_pending_procedure(int conn_id) const;
+  /// Number of timer-supervised procedures abandoned after all retries (P3).
+  int procedures_aborted() const { return procedures_aborted_; }
+  const nas::SecurityContext* security(int conn_id) const;
+  /// Uplink messages discarded for failed integrity (P1 desync marker).
+  int protected_discards() const { return protected_discards_; }
+
+  /// Timer period in ticks and the retransmission bound (4 retransmissions,
+  /// abort on the 5th expiry), exposed for tests and the P3 bench.
+  static constexpr int kTimerPeriod = 3;
+  static constexpr int kMaxRetransmissions = 4;
+
+  /// Test hook: forces the HSS SQN state for a subscriber (used by the
+  /// conformance suite to provoke genuine resynchronization runs).
+  void debug_set_sqn(const std::string& imsi, std::uint64_t seq, std::uint32_t ind = 0);
+
+ private:
+  struct PendingCommand {
+    nas::NasPdu pdu;                 // retransmitted verbatim
+    nas::MsgType awaiting_type;      // completion message that stops the timer
+    int ticks_left = kTimerPeriod;
+    int retransmissions = 0;
+  };
+
+  struct Session {
+    MmeState state = MmeState::kDeregistered;
+    std::string imsi;  // bound after identification/attach
+    std::string guti = "none";
+    nas::SecurityContext sec;
+    std::optional<std::uint32_t> last_ul;  // last accepted uplink NAS COUNT
+    // Outstanding AKA run.
+    Bytes rand;
+    std::uint64_t xres = 0;
+    std::uint64_t kasme = 0;
+    std::optional<PendingCommand> pending;
+    int guti_serial = 0;
+  };
+
+  Session& session(int conn_id);
+  const Session* find_session(int conn_id) const;
+
+  // Incoming handlers.
+  std::vector<Outgoing> recv_attach_request(int conn_id, const nas::NasMessage& msg,
+                                            const nas::NasPdu& pdu, bool was_protected);
+  std::vector<Outgoing> recv_authentication_response(int conn_id, const nas::NasMessage& msg);
+  std::vector<Outgoing> recv_authentication_failure(int conn_id, const nas::NasMessage& msg);
+  std::vector<Outgoing> recv_security_mode_complete(int conn_id);
+  std::vector<Outgoing> recv_attach_complete(int conn_id);
+  std::vector<Outgoing> recv_identity_response(int conn_id, const nas::NasMessage& msg);
+  std::vector<Outgoing> recv_detach_request(int conn_id);
+  std::vector<Outgoing> recv_tau_request(int conn_id, const nas::NasMessage& msg);
+  std::vector<Outgoing> recv_service_request(int conn_id, const nas::NasMessage& msg);
+  std::vector<Outgoing> recv_guti_reallocation_complete(int conn_id);
+  std::vector<Outgoing> recv_configuration_update_complete(int conn_id);
+  std::vector<Outgoing> recv_detach_accept(int conn_id);
+
+  /// Builds a fresh authentication vector and the authentication_request.
+  Outgoing make_authentication_request(int conn_id);
+  Outgoing send_plain(int conn_id, nas::NasMessage msg);
+  Outgoing send_protected(int conn_id, nas::NasMessage msg,
+                          nas::SecHdr hdr = nas::SecHdr::kIntegrityCiphered);
+  /// Registers a timer-supervised command for (re)transmission.
+  void arm_timer(int conn_id, const nas::NasPdu& pdu, nas::MsgType awaiting);
+  void complete_pending(int conn_id, nas::MsgType completion);
+  std::string next_guti(Session& s);
+
+  // Trace helpers.
+  void trace_enter(std::string_view fn);
+  void trace_state(int conn_id);
+  void trace_local(std::string_view name, std::uint64_t value);
+
+  std::map<std::string, std::uint64_t> hss_;  // IMSI -> permanent key
+  // HSS-level SQN state: persists across attaches (TS 33.102 Annex C.1.2).
+  // Being long-lived is what makes days-old captured authentication_requests
+  // usable in the P1 attack.
+  std::map<std::string, nas::SqnGenerator> hss_sqn_;
+  std::map<int, Session> sessions_;
+  Rng rng_;
+  instrument::TraceLogger* trace_;
+  int procedures_aborted_ = 0;
+  int protected_discards_ = 0;
+  int guti_counter_ = 0;
+};
+
+}  // namespace procheck::mme

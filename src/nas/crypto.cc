@@ -1,0 +1,126 @@
+#include "nas/crypto.h"
+
+#include "common/rng.h"
+
+namespace procheck::nas {
+
+namespace {
+
+/// Domain-separated PRF invocation: tag selects the primitive being
+/// simulated so e.g. f1 and f2 under the same key are independent.
+std::uint64_t tagged_prf(std::uint64_t key, std::uint64_t tag, const Bytes& data) {
+  ByteWriter w;
+  w.u64(tag);
+  w.raw(data);
+  return prf64(key, w.bytes());
+}
+
+std::uint64_t tagged_prf(std::uint64_t key, std::uint64_t tag, const Bytes& data,
+                         std::uint64_t extra) {
+  ByteWriter w;
+  w.u64(tag);
+  w.u64(extra);
+  w.raw(data);
+  return prf64(key, w.bytes());
+}
+
+enum : std::uint64_t {
+  kTagF1 = 1,
+  kTagF2 = 2,
+  kTagF5 = 5,
+  kTagF1Star = 11,
+  kTagF5Star = 15,
+  kTagKasme = 20,
+  kTagKNasInt = 21,
+  kTagKNasEnc = 22,
+  kTagNasMac = 30,
+  kTagNasEnc = 31,
+};
+
+}  // namespace
+
+std::uint64_t f1_mac(std::uint64_t k, std::uint64_t sqn, const Bytes& rand, std::uint16_t amf) {
+  ByteWriter w;
+  w.u64(sqn & kSqnMask);
+  w.u16(amf);
+  w.raw(rand);
+  return tagged_prf(k, kTagF1, w.bytes());
+}
+
+std::uint64_t f2_res(std::uint64_t k, const Bytes& rand) { return tagged_prf(k, kTagF2, rand); }
+
+std::uint64_t f5_ak(std::uint64_t k, const Bytes& rand) {
+  return tagged_prf(k, kTagF5, rand) & kSqnMask;
+}
+
+std::uint64_t f1star_mac(std::uint64_t k, std::uint64_t sqn_ms, const Bytes& rand) {
+  return tagged_prf(k, kTagF1Star, rand, sqn_ms & kSqnMask);
+}
+
+std::uint64_t f5star_ak(std::uint64_t k, const Bytes& rand) {
+  return tagged_prf(k, kTagF5Star, rand) & kSqnMask;
+}
+
+std::uint64_t derive_kasme(std::uint64_t k, const Bytes& rand, std::uint64_t sqn) {
+  return tagged_prf(k, kTagKasme, rand, sqn & kSqnMask);
+}
+
+std::uint64_t derive_k_nas_int(std::uint64_t kasme, std::uint8_t eia) {
+  return tagged_prf(kasme, kTagKNasInt, {}, eia);
+}
+
+std::uint64_t derive_k_nas_enc(std::uint64_t kasme, std::uint8_t eea) {
+  return tagged_prf(kasme, kTagKNasEnc, {}, eea);
+}
+
+std::uint64_t nas_mac(std::uint64_t k_nas_int, std::uint32_t count, Direction dir,
+                      const Bytes& payload) {
+  ByteWriter w;
+  w.u32(count);
+  w.u8(static_cast<std::uint8_t>(dir));
+  w.raw(payload);
+  return tagged_prf(k_nas_int, kTagNasMac, w.bytes());
+}
+
+Bytes nas_cipher(std::uint64_t k_nas_enc, std::uint32_t count, Direction dir, const Bytes& data) {
+  std::uint64_t iv =
+      (static_cast<std::uint64_t>(count) << 8) | static_cast<std::uint64_t>(dir) | (kTagNasEnc << 32);
+  Bytes ks = prf_stream(k_nas_enc, iv, data.size());
+  Bytes out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i] ^ ks[i];
+  return out;
+}
+
+Bytes Autn::encode() const {
+  ByteWriter w;
+  w.u64(sqn_xor_ak & kSqnMask);
+  w.u16(amf);
+  w.u64(mac);
+  return w.take();
+}
+
+std::optional<Autn> Autn::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  auto sqn_xor_ak = r.u64();
+  auto amf = r.u16();
+  auto mac = r.u64();
+  if (!sqn_xor_ak || !amf || !mac || !r.at_end()) return std::nullopt;
+  return Autn{*sqn_xor_ak & kSqnMask, *amf, *mac};
+}
+
+Bytes Auts::encode() const {
+  ByteWriter w;
+  w.u64(sqn_ms_xor_ak & kSqnMask);
+  w.u64(mac_s);
+  return w.take();
+}
+
+std::optional<Auts> Auts::decode(const Bytes& raw) {
+  ByteReader r(raw);
+  auto sqn = r.u64();
+  auto mac_s = r.u64();
+  if (!sqn || !mac_s || !r.at_end()) return std::nullopt;
+  return Auts{*sqn & kSqnMask, *mac_s};
+}
+
+}  // namespace procheck::nas

@@ -1,0 +1,86 @@
+// Simulated LTE cryptographic primitives.
+//
+// Substitution note (DESIGN.md §1): the logical vulnerabilities the paper
+// targets are independent of cryptographic strength — the analysis abstracts
+// crypto away and a Dolev–Yao verifier reasons about it symbolically. What
+// the running stacks need is only the *functional contract* of MILENAGE
+// (f1–f5) and the EPS key hierarchy: same inputs give same outputs, and
+// outputs are unforgeable without the key at simulation fidelity. All
+// primitives are therefore keyed SplitMix-based PRFs (common/rng.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace procheck::nas {
+
+/// Direction bit of the NAS COUNT (TS 33.401): uplink = UE→MME.
+enum class Direction : std::uint8_t { kUplink = 0, kDownlink = 1 };
+
+// --- MILENAGE-style authentication functions (TS 33.102 §6.3) ----------------
+
+/// f1: network authentication MAC over (SQN, RAND, AMF) under permanent key K.
+std::uint64_t f1_mac(std::uint64_t k, std::uint64_t sqn, const Bytes& rand, std::uint16_t amf);
+
+/// f2: expected/actual challenge response RES.
+std::uint64_t f2_res(std::uint64_t k, const Bytes& rand);
+
+/// f5: 48-bit anonymity key AK used to conceal SQN in the AUTN.
+std::uint64_t f5_ak(std::uint64_t k, const Bytes& rand);
+
+/// f1*: resynchronization MAC over (SQN_MS, RAND) used in AUTS.
+std::uint64_t f1star_mac(std::uint64_t k, std::uint64_t sqn_ms, const Bytes& rand);
+
+/// f5*: resynchronization anonymity key AK* used in AUTS.
+std::uint64_t f5star_ak(std::uint64_t k, const Bytes& rand);
+
+// --- EPS key hierarchy (TS 33.401 §6.1) --------------------------------------
+
+/// KASME from (K, RAND, SQN); session root key after a successful AKA run.
+std::uint64_t derive_kasme(std::uint64_t k, const Bytes& rand, std::uint64_t sqn);
+
+/// NAS integrity key for the negotiated EIA algorithm id.
+std::uint64_t derive_k_nas_int(std::uint64_t kasme, std::uint8_t eia);
+
+/// NAS encryption key for the negotiated EEA algorithm id.
+std::uint64_t derive_k_nas_enc(std::uint64_t kasme, std::uint8_t eea);
+
+// --- NAS message protection (TS 33.401 §8) -----------------------------------
+
+/// NAS-MAC over (COUNT, direction, message octets) under K_NASint.
+std::uint64_t nas_mac(std::uint64_t k_nas_int, std::uint32_t count, Direction dir,
+                      const Bytes& payload);
+
+/// NAS ciphering keystream XOR (an involution: apply twice to decrypt).
+Bytes nas_cipher(std::uint64_t k_nas_enc, std::uint32_t count, Direction dir, const Bytes& data);
+
+// --- AUTN / AUTS tokens (TS 33.102 §6.3) -------------------------------------
+
+/// 48-bit SQN arithmetic: values are stored in the low 48 bits of u64.
+inline constexpr std::uint64_t kSqnMask = (1ULL << 48) - 1;
+
+/// AUTN = (SQN xor AK)(48 bits) || AMF(16 bits) || MAC(64 bits).
+struct Autn {
+  std::uint64_t sqn_xor_ak = 0;  // low 48 bits
+  std::uint16_t amf = 0;
+  std::uint64_t mac = 0;
+
+  Bytes encode() const;
+  static std::optional<Autn> decode(const Bytes& raw);
+  bool operator==(const Autn&) const = default;
+};
+
+/// AUTS = (SQN_MS xor AK*)(48 bits) || MAC-S(64 bits); carried in an
+/// authentication_failure with cause synch_failure.
+struct Auts {
+  std::uint64_t sqn_ms_xor_ak = 0;  // low 48 bits
+  std::uint64_t mac_s = 0;
+
+  Bytes encode() const;
+  static std::optional<Auts> decode(const Bytes& raw);
+  bool operator==(const Auts&) const = default;
+};
+
+}  // namespace procheck::nas

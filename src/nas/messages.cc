@@ -1,0 +1,215 @@
+#include "nas/messages.h"
+
+#include <array>
+
+namespace procheck::nas {
+
+namespace {
+
+struct NameEntry {
+  MsgType type;
+  std::string_view name;
+};
+
+constexpr std::array<NameEntry, 32> kNames = {{
+    {MsgType::kAttachRequest, "attach_request"},
+    {MsgType::kAttachAccept, "attach_accept"},
+    {MsgType::kAttachComplete, "attach_complete"},
+    {MsgType::kAttachReject, "attach_reject"},
+    {MsgType::kAuthenticationRequest, "authentication_request"},
+    {MsgType::kAuthenticationResponse, "authentication_response"},
+    {MsgType::kAuthenticationReject, "authentication_reject"},
+    {MsgType::kAuthenticationFailure, "authentication_failure"},
+    {MsgType::kSecurityModeCommand, "security_mode_command"},
+    {MsgType::kSecurityModeComplete, "security_mode_complete"},
+    {MsgType::kSecurityModeReject, "security_mode_reject"},
+    {MsgType::kIdentityRequest, "identity_request"},
+    {MsgType::kIdentityResponse, "identity_response"},
+    {MsgType::kGutiReallocationCommand, "guti_reallocation_command"},
+    {MsgType::kGutiReallocationComplete, "guti_reallocation_complete"},
+    {MsgType::kTauRequest, "tracking_area_update_request"},
+    {MsgType::kTauAccept, "tracking_area_update_accept"},
+    {MsgType::kTauReject, "tracking_area_update_reject"},
+    {MsgType::kDetachRequest, "detach_request"},
+    {MsgType::kDetachAccept, "detach_accept"},
+    {MsgType::kServiceRequest, "service_request"},
+    {MsgType::kServiceReject, "service_reject"},
+    {MsgType::kPaging, "paging"},
+    {MsgType::kEmmInformation, "emm_information"},
+    {MsgType::kConfigurationUpdateCommand, "configuration_update_command"},
+    {MsgType::kConfigurationUpdateComplete, "configuration_update_complete"},
+    {MsgType::kRegistrationRequest, "registration_request"},
+    {MsgType::kRegistrationAccept, "registration_accept"},
+    {MsgType::kRegistrationComplete, "registration_complete"},
+    {MsgType::kRegistrationReject, "registration_reject"},
+    {MsgType::kDeregistrationRequest, "deregistration_request"},
+    {MsgType::kDeregistrationAccept, "deregistration_accept"},
+}};
+
+}  // namespace
+
+std::string_view standard_name(MsgType t) {
+  for (const auto& e : kNames) {
+    if (e.type == t) return e.name;
+  }
+  return "unknown";
+}
+
+std::optional<MsgType> msg_type_from_name(std::string_view name) {
+  for (const auto& e : kNames) {
+    if (e.name == name) return e.type;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(SecHdr h) {
+  switch (h) {
+    case SecHdr::kPlain:
+      return "plain_nas";
+    case SecHdr::kIntegrity:
+      return "integrity_protected";
+    case SecHdr::kIntegrityCiphered:
+      return "integrity_protected_ciphered";
+  }
+  return "invalid";
+}
+
+std::string_view to_string(EmmCause c) {
+  switch (c) {
+    case EmmCause::kNone:
+      return "none";
+    case EmmCause::kImsiUnknown:
+      return "imsi_unknown";
+    case EmmCause::kIllegalUe:
+      return "illegal_ue";
+    case EmmCause::kMacFailure:
+      return "mac_failure";
+    case EmmCause::kSynchFailure:
+      return "synch_failure";
+    case EmmCause::kCongestion:
+      return "congestion";
+    case EmmCause::kSecurityModeRejected:
+      return "security_mode_rejected";
+    case EmmCause::kNotAuthorized:
+      return "not_authorized";
+  }
+  return "invalid";
+}
+
+std::uint64_t NasMessage::get_u(const std::string& k, std::uint64_t dflt) const {
+  auto it = u.find(k);
+  return it == u.end() ? dflt : it->second;
+}
+
+std::string NasMessage::get_s(const std::string& k, const std::string& dflt) const {
+  auto it = s.find(k);
+  return it == s.end() ? dflt : it->second;
+}
+
+Bytes NasMessage::get_b(const std::string& k) const {
+  auto it = b.find(k);
+  return it == b.end() ? Bytes{} : it->second;
+}
+
+bool NasMessage::has(const std::string& k) const {
+  return u.count(k) > 0 || s.count(k) > 0 || b.count(k) > 0;
+}
+
+NasMessage& NasMessage::set_u(const std::string& k, std::uint64_t v) {
+  u[k] = v;
+  return *this;
+}
+
+NasMessage& NasMessage::set_s(const std::string& k, std::string v) {
+  s[k] = std::move(v);
+  return *this;
+}
+
+NasMessage& NasMessage::set_b(const std::string& k, Bytes v) {
+  b[k] = std::move(v);
+  return *this;
+}
+
+Bytes encode_payload(const NasMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.u16(static_cast<std::uint16_t>(m.u.size()));
+  for (const auto& [k, v] : m.u) {
+    w.str(k);
+    w.u64(v);
+  }
+  w.u16(static_cast<std::uint16_t>(m.s.size()));
+  for (const auto& [k, v] : m.s) {
+    w.str(k);
+    w.str(v);
+  }
+  w.u16(static_cast<std::uint16_t>(m.b.size()));
+  for (const auto& [k, v] : m.b) {
+    w.str(k);
+    w.blob(v);
+  }
+  return w.take();
+}
+
+std::optional<NasMessage> decode_payload(const Bytes& payload) {
+  ByteReader r(payload);
+  auto type = r.u8();
+  if (!type || *type > static_cast<std::uint8_t>(MsgType::kDeregistrationAccept)) {
+    return std::nullopt;
+  }
+  NasMessage m(static_cast<MsgType>(*type));
+  auto nu = r.u16();
+  if (!nu) return std::nullopt;
+  for (std::uint16_t i = 0; i < *nu; ++i) {
+    auto k = r.str();
+    auto v = r.u64();
+    if (!k || !v) return std::nullopt;
+    m.u[*k] = *v;
+  }
+  auto ns = r.u16();
+  if (!ns) return std::nullopt;
+  for (std::uint16_t i = 0; i < *ns; ++i) {
+    auto k = r.str();
+    auto v = r.str();
+    if (!k || !v) return std::nullopt;
+    m.s[*k] = *v;
+  }
+  auto nb = r.u16();
+  if (!nb) return std::nullopt;
+  for (std::uint16_t i = 0; i < *nb; ++i) {
+    auto k = r.str();
+    auto v = r.blob();
+    if (!k || !v) return std::nullopt;
+    m.b[*k] = *v;
+  }
+  if (!r.at_end()) return std::nullopt;
+  return m;
+}
+
+Bytes NasPdu::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(sec_hdr));
+  w.u32(count);
+  w.u64(mac);
+  w.raw(payload);
+  return w.take();
+}
+
+std::optional<NasPdu> NasPdu::decode(const Bytes& wire) {
+  ByteReader r(wire);
+  auto hdr = r.u8();
+  auto count = r.u32();
+  auto mac = r.u64();
+  if (!hdr || !count || !mac ||
+      *hdr > static_cast<std::uint8_t>(SecHdr::kIntegrityCiphered)) {
+    return std::nullopt;
+  }
+  NasPdu pdu;
+  pdu.sec_hdr = static_cast<SecHdr>(*hdr);
+  pdu.count = *count;
+  pdu.mac = *mac;
+  pdu.payload.assign(wire.begin() + 13, wire.end());
+  return pdu;
+}
+
+}  // namespace procheck::nas

@@ -1,0 +1,66 @@
+#include "nas/security_context.h"
+
+namespace procheck::nas {
+
+void SecurityContext::establish(std::uint64_t kasme_in, std::uint8_t eia_in,
+                                std::uint8_t eea_in) {
+  kasme = kasme_in;
+  eia = eia_in;
+  eea = eea_in;
+  k_nas_int = derive_k_nas_int(kasme, eia);
+  k_nas_enc = derive_k_nas_enc(kasme, eea);
+  ul_count = 0;
+  dl_count = 0;
+  valid = true;
+}
+
+NasPdu protect(const NasMessage& msg, SecurityContext& ctx, Direction dir, SecHdr hdr) {
+  NasPdu pdu;
+  pdu.sec_hdr = hdr;
+  std::uint32_t& count = dir == Direction::kUplink ? ctx.ul_count : ctx.dl_count;
+  pdu.count = count++;
+
+  Bytes payload = encode_payload(msg);
+  if (hdr == SecHdr::kIntegrityCiphered) {
+    payload = nas_cipher(ctx.k_nas_enc, pdu.count, dir, payload);
+  }
+  pdu.payload = std::move(payload);
+  pdu.mac = nas_mac(ctx.k_nas_int, pdu.count, dir, pdu.payload);
+  return pdu;
+}
+
+NasPdu encode_plain(const NasMessage& msg) {
+  NasPdu pdu;
+  pdu.sec_hdr = SecHdr::kPlain;
+  pdu.payload = encode_payload(msg);
+  return pdu;
+}
+
+UnprotectResult unprotect(const NasPdu& pdu, const SecurityContext& ctx, Direction dir) {
+  UnprotectResult out;
+  out.sec_hdr = pdu.sec_hdr;
+  out.count = pdu.count;
+
+  Bytes payload = pdu.payload;
+  if (pdu.sec_hdr != SecHdr::kPlain) {
+    out.mac_checked = true;
+    if (!ctx.valid || nas_mac(ctx.k_nas_int, pdu.count, dir, pdu.payload) != pdu.mac) {
+      out.status = UnprotectResult::Status::kMacFailure;
+      return out;
+    }
+    if (pdu.sec_hdr == SecHdr::kIntegrityCiphered) {
+      payload = nas_cipher(ctx.k_nas_enc, pdu.count, dir, payload);
+    }
+  }
+
+  auto msg = decode_payload(payload);
+  if (!msg) {
+    out.status = UnprotectResult::Status::kMalformed;
+    return out;
+  }
+  out.msg = std::move(*msg);
+  out.status = UnprotectResult::Status::kOk;
+  return out;
+}
+
+}  // namespace procheck::nas

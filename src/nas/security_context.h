@@ -1,0 +1,62 @@
+// NAS security context (TS 33.401): the per-association state established by
+// a successful AKA run plus security-mode negotiation. Both the UE and the
+// MME hold one; it owns the derived NAS keys and the uplink/downlink NAS
+// COUNT values whose handling the paper's P3/I1/I3 findings revolve around.
+//
+// protect()/unprotect() implement the mechanical part of message protection
+// (ciphering, MAC computation/verification). Replay/counter *policy* —
+// whether a received COUNT is acceptable — is deliberately left to the
+// stacks (ue/, mme/), because that policy is exactly where the analyzed
+// implementations deviate from the standard.
+#pragma once
+
+#include <cstdint>
+
+#include "nas/crypto.h"
+#include "nas/messages.h"
+
+namespace procheck::nas {
+
+struct SecurityContext {
+  bool valid = false;       // true once SMC completes
+  std::uint64_t kasme = 0;  // session root key from AKA
+  std::uint8_t eia = 0;     // negotiated integrity algorithm id
+  std::uint8_t eea = 0;     // negotiated ciphering algorithm id
+  std::uint64_t k_nas_int = 0;
+  std::uint64_t k_nas_enc = 0;
+  std::uint32_t ul_count = 0;  // next NAS COUNT to *send* uplink / last accepted, per side
+  std::uint32_t dl_count = 0;
+
+  /// Derives the NAS keys and activates the context.
+  void establish(std::uint64_t kasme_in, std::uint8_t eia_in, std::uint8_t eea_in);
+  void clear() { *this = SecurityContext{}; }
+};
+
+/// Wraps `msg` into a protected PDU using the sender-side count for `dir`
+/// and advances that count. `hdr` selects integrity-only vs
+/// integrity+ciphered (SMC itself goes integrity-only; post-SMC traffic is
+/// ciphered).
+NasPdu protect(const NasMessage& msg, SecurityContext& ctx, Direction dir, SecHdr hdr);
+
+/// Serializes without protection (pre-security-context messages and the
+/// plain messages OAI wrongly accepts post-SMC, finding I2).
+NasPdu encode_plain(const NasMessage& msg);
+
+struct UnprotectResult {
+  enum class Status : std::uint8_t {
+    kOk,          // decoded; MAC valid if the PDU was protected
+    kMalformed,   // failed well-formedness checks
+    kMacFailure,  // integrity verification failed
+  };
+  Status status = Status::kMalformed;
+  NasMessage msg;               // valid when kOk
+  SecHdr sec_hdr = SecHdr::kPlain;
+  std::uint32_t count = 0;      // the received NAS COUNT
+  bool mac_checked = false;     // true when the PDU claimed protection
+};
+
+/// Decodes and (when protected) integrity-verifies a PDU against `ctx`.
+/// Performs no counter/replay policy — callers apply their own.
+UnprotectResult unprotect(const NasPdu& pdu, const SecurityContext& ctx, Direction dir);
+
+}  // namespace procheck::nas

@@ -1,0 +1,68 @@
+#include "nas/sqn.h"
+
+#include <algorithm>
+
+namespace procheck::nas {
+
+Sqn SqnGenerator::next() {
+  ++seq_;
+  ind_ = (ind_ + 1) & kIndMask;
+  return Sqn{seq_, ind_};
+}
+
+Usim::Usim(std::uint64_t permanent_key, UsimConfig config)
+    : k_(permanent_key), config_(config) {}
+
+std::uint64_t Usim::highest_accepted_seq() const {
+  return *std::max_element(seq_array_.begin(), seq_array_.end());
+}
+
+Usim::Outcome Usim::authenticate(const Bytes& rand, const Bytes& autn_raw) {
+  Outcome out;
+  auto autn = Autn::decode(autn_raw);
+  if (!autn) {
+    out.result = Result::kMacFailure;
+    return out;
+  }
+
+  std::uint64_t ak = f5_ak(k_, rand);
+  std::uint64_t sqn_value = (autn->sqn_xor_ak ^ ak) & kSqnMask;
+  out.received_sqn = Sqn::from_value(sqn_value);
+
+  if (f1_mac(k_, sqn_value, rand, autn->amf) != autn->mac) {
+    out.result = Result::kMacFailure;
+    return out;
+  }
+
+  const Sqn sqn = out.received_sqn;
+  const std::uint64_t stored_seq = seq_array_[sqn.ind];
+  const bool seq_fresh =
+      config_.accept_equal_seq ? sqn.seq >= stored_seq && sqn.seq > 0 : sqn.seq > stored_seq;
+  // Annex C.2.2 freshness limit L: reject SQNs more than L behind the
+  // highest accepted SEQ. Optional in the spec; off by default (the paper's
+  // P1/P2 root cause).
+  const bool within_limit =
+      !config_.freshness_limit ||
+      highest_accepted_seq() <= sqn.seq + *config_.freshness_limit;
+
+  if (seq_fresh && within_limit) {
+    out.equal_seq_accepted = sqn.seq == stored_seq;
+    seq_array_[sqn.ind] = sqn.seq;
+    out.result = Result::kOk;
+    out.res = f2_res(k_, rand);
+    out.kasme = derive_kasme(k_, rand, sqn_value);
+    return out;
+  }
+
+  // Synchronization failure: report SQN_MS built from the highest accepted
+  // SEQ anywhere in the array (Annex C.3.4), concealed with AK*.
+  out.result = Result::kSyncFailure;
+  std::uint64_t sqn_ms = (highest_accepted_seq() << kIndBits) & kSqnMask;
+  Auts auts;
+  auts.sqn_ms_xor_ak = (sqn_ms ^ f5star_ak(k_, rand)) & kSqnMask;
+  auts.mac_s = f1star_mac(k_, sqn_ms, rand);
+  out.auts = auts.encode();
+  return out;
+}
+
+}  // namespace procheck::nas

@@ -1,0 +1,465 @@
+#include "nr/nr_stack.h"
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "nas/crypto.h"
+
+namespace procheck::nr {
+
+using nas::Direction;
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+using nas::SecHdr;
+
+std::string_view to_string(FgmmState s) {
+  switch (s) {
+    case FgmmState::kDeregistered:
+      return "FIVEGMM_DEREGISTERED";
+    case FgmmState::kRegisteredInitiated:
+      return "FIVEGMM_REGISTERED_INITIATED";
+    case FgmmState::kRegistered:
+      return "FIVEGMM_REGISTERED";
+    case FgmmState::kDeregisteredInitiated:
+      return "FIVEGMM_DEREGISTERED_INITIATED";
+    case FgmmState::kServiceRequestInitiated:
+      return "FIVEGMM_SERVICE_REQUEST_INITIATED";
+  }
+  return "FIVEGMM_DEREGISTERED";
+}
+
+std::string conceal_supi(const std::string& supi, std::uint64_t hn_key) {
+  Bytes data(supi.begin(), supi.end());
+  ByteWriter w;
+  w.u64(prf64(hn_key, data));
+  return "suci-" + to_hex(w.bytes());
+}
+
+// --- NrUe --------------------------------------------------------------------
+
+NrUe::NrUe(std::uint64_t permanent_key, std::string supi, std::uint64_t hn_key,
+           instrument::TraceLogger* trace, std::optional<std::uint64_t> sqn_freshness_limit)
+    : trace_(trace),
+      supi_(std::move(supi)),
+      hn_key_(hn_key),
+      usim_(permanent_key, nas::UsimConfig{sqn_freshness_limit, false}) {}
+
+void NrUe::trace_enter_recv(std::string_view name) {
+  if (trace_) trace_->enter("recv_" + std::string(name));
+  trace_globals();
+  if (trace_ && current_hdr_) trace_->local("sec_hdr", to_string(*current_hdr_));
+}
+
+void NrUe::trace_globals() {
+  if (!trace_) return;
+  trace_->global("fivegmm_state", to_string(state_));
+  trace_->global("sec_ctx_valid", sec_.valid ? 1 : 0);
+  trace_->global("guti", guti_);
+}
+
+void NrUe::set_state(FgmmState next) {
+  state_ = next;
+  if (trace_) trace_->global("fivegmm_state", to_string(state_));
+}
+
+nas::NasPdu NrUe::send_message(NasMessage msg, bool force_plain) {
+  if (trace_) trace_->enter("send_" + std::string(standard_name(msg.type)));
+  if (sec_.valid && !force_plain) {
+    return protect(msg, sec_, Direction::kUplink, SecHdr::kIntegrityCiphered);
+  }
+  return encode_plain(msg);
+}
+
+std::vector<NasPdu> NrUe::power_on_register() {
+  trace_enter_recv("power_on_trigger");
+  sec_.clear();
+  last_dl_.reset();
+  set_state(FgmmState::kRegisteredInitiated);
+  NasMessage req(MsgType::kRegistrationRequest);
+  // 5G privacy improvement: the permanent identity is concealed (SUCI) or
+  // replaced by the 5G-GUTI — never the SUPI in clear.
+  req.set_s("identity", guti_ != "none" ? guti_ : conceal_supi(supi_, hn_key_));
+  std::vector<NasPdu> out{send_message(req, /*force_plain=*/true)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::trigger_deregister() {
+  trace_enter_recv("deregister_trigger");
+  set_state(FgmmState::kDeregisteredInitiated);
+  std::vector<NasPdu> out{send_message(NasMessage(MsgType::kDeregistrationRequest))};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::handle_downlink(const NasPdu& pdu) {
+  if (trace_) trace_->enter("n1_msg_handler");
+  current_hdr_ = pdu.sec_hdr;
+  std::vector<NasPdu> out;
+
+  if (pdu.sec_hdr == SecHdr::kPlain) {
+    auto msg = nas::decode_payload(pdu.payload);
+    if (!msg) {
+      current_hdr_.reset();
+      return {};
+    }
+    switch (msg->type) {
+      case MsgType::kAuthenticationRequest:
+        out = recv_authentication_request(*msg);
+        break;
+      case MsgType::kIdentityRequest:
+        out = recv_identity_request(*msg);
+        break;
+      case MsgType::kRegistrationReject:
+        out = recv_registration_reject(*msg);
+        break;
+      case MsgType::kDeregistrationAccept:
+        out = recv_deregistration_accept(*msg);
+        break;
+      default:
+        // 5G mandates integrity for everything else: plain is discarded.
+        break;
+    }
+    current_hdr_.reset();
+    return out;
+  }
+
+  if (pdu.sec_hdr == SecHdr::kIntegrity) {
+    auto msg = nas::decode_payload(pdu.payload);
+    if (msg && msg->type == MsgType::kSecurityModeCommand) {
+      out = recv_security_mode_command(pdu);
+      current_hdr_.reset();
+      return out;
+    }
+  }
+
+  if (!sec_.valid) {
+    ++protected_discards_;
+    trace_enter_recv("undecodable_pdu");
+    current_hdr_.reset();
+    return {};
+  }
+  nas::UnprotectResult res = unprotect(pdu, sec_, Direction::kDownlink);
+  if (res.status != nas::UnprotectResult::Status::kOk) {
+    ++protected_discards_;
+    trace_enter_recv("undecodable_pdu");
+    current_hdr_.reset();
+    return {};
+  }
+  if (last_dl_ && pdu.count <= *last_dl_) {
+    trace_enter_recv(standard_name(res.msg.type));
+    if (trace_) trace_->local("count_ok", std::uint64_t{0});
+    current_hdr_.reset();
+    return {};
+  }
+  last_dl_ = pdu.count;
+  switch (res.msg.type) {
+    case MsgType::kRegistrationAccept:
+      out = recv_registration_accept(res.msg);
+      break;
+    case MsgType::kConfigurationUpdateCommand:
+      out = recv_configuration_update_command(res.msg);
+      break;
+    case MsgType::kIdentityRequest:
+      out = recv_identity_request(res.msg);
+      break;
+    case MsgType::kDeregistrationAccept:
+      out = recv_deregistration_accept(res.msg);
+      break;
+    default:
+      break;
+  }
+  current_hdr_.reset();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::recv_authentication_request(const NasMessage& msg) {
+  trace_enter_recv("authentication_request");
+  nas::Usim::Outcome outcome = usim_.authenticate(msg.get_b("rand"), msg.get_b("autn"));
+  if (trace_) {
+    trace_->local("mac_valid", outcome.result == nas::Usim::Result::kMacFailure ? 0 : 1);
+    trace_->local("sqn_ok", outcome.result == nas::Usim::Result::kOk ? 1 : 0);
+  }
+  std::vector<NasPdu> out;
+  switch (outcome.result) {
+    case nas::Usim::Result::kOk: {
+      ++auth_runs_;
+      pending_kasme_ = outcome.kasme;
+      if (sec_.valid) {
+        // The 5G P1 effect: identical SQN scheme, identical desync.
+        sec_.clear();
+        last_dl_.reset();
+        if (trace_) trace_->local("key_desync", std::uint64_t{1});
+      }
+      NasMessage resp(MsgType::kAuthenticationResponse);
+      resp.set_u("res", outcome.res);
+      out.push_back(send_message(resp, /*force_plain=*/true));
+      break;
+    }
+    case nas::Usim::Result::kMacFailure: {
+      if (trace_) trace_->local("failure_cause", "mac_failure");
+      NasMessage fail(MsgType::kAuthenticationFailure);
+      fail.set_s("cause", "mac_failure");
+      out.push_back(send_message(fail, /*force_plain=*/true));
+      break;
+    }
+    case nas::Usim::Result::kSyncFailure: {
+      if (trace_) trace_->local("failure_cause", "synch_failure");
+      NasMessage fail(MsgType::kAuthenticationFailure);
+      fail.set_s("cause", "synch_failure");
+      fail.set_b("auts", outcome.auts);
+      out.push_back(send_message(fail, /*force_plain=*/true));
+      break;
+    }
+  }
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::recv_security_mode_command(const NasPdu& pdu) {
+  trace_enter_recv("security_mode_command");
+  auto msg = nas::decode_payload(pdu.payload);
+  if (!msg || !pending_kasme_) return {};
+  auto eia = static_cast<std::uint8_t>(msg->get_u("eia", 1));
+  auto eea = static_cast<std::uint8_t>(msg->get_u("eea", 1));
+  std::uint64_t k_int = nas::derive_k_nas_int(*pending_kasme_, eia);
+  if (nas::nas_mac(k_int, pdu.count, Direction::kDownlink, pdu.payload) != pdu.mac) {
+    if (trace_) trace_->local("mac_valid", std::uint64_t{0});
+    return {send_message(NasMessage(MsgType::kSecurityModeReject), /*force_plain=*/true)};
+  }
+  if (trace_) trace_->local("mac_valid", std::uint64_t{1});
+  sec_.establish(*pending_kasme_, eia, eea);
+  pending_kasme_.reset();
+  last_dl_ = pdu.count;
+  std::vector<NasPdu> out{send_message(NasMessage(MsgType::kSecurityModeComplete))};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::recv_registration_accept(const NasMessage& msg) {
+  trace_enter_recv("registration_accept");
+  if (state_ != FgmmState::kRegisteredInitiated) return {};
+  if (msg.has("guti")) guti_ = msg.get_s("guti");
+  set_state(FgmmState::kRegistered);
+  std::vector<NasPdu> out{send_message(NasMessage(MsgType::kRegistrationComplete))};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::recv_registration_reject(const NasMessage& msg) {
+  trace_enter_recv("registration_reject");
+  if (trace_) trace_->local("cause", msg.get_s("cause", "not_authorized"));
+  sec_.clear();
+  pending_kasme_.reset();
+  last_dl_.reset();
+  guti_ = "none";
+  set_state(FgmmState::kDeregistered);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> NrUe::recv_configuration_update_command(const NasMessage& msg) {
+  trace_enter_recv("configuration_update_command");
+  if (msg.has("guti")) guti_ = msg.get_s("guti");
+  std::vector<NasPdu> out{send_message(NasMessage(MsgType::kConfigurationUpdateComplete))};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::recv_identity_request(const NasMessage&) {
+  trace_enter_recv("identity_request");
+  // 5G identification discloses at most the *concealed* SUCI, never the
+  // SUPI — the fix for LTE-style IMSI catching.
+  NasMessage resp(MsgType::kIdentityResponse);
+  resp.set_s("identity", conceal_supi(supi_, hn_key_));
+  if (trace_) trace_->local("identity_concealed", std::uint64_t{1});
+  std::vector<NasPdu> out{send_message(resp, /*force_plain=*/!sec_.valid)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> NrUe::recv_deregistration_accept(const NasMessage&) {
+  trace_enter_recv("deregistration_accept");
+  if (state_ != FgmmState::kDeregisteredInitiated) return {};
+  sec_.clear();
+  pending_kasme_.reset();
+  last_dl_.reset();
+  set_state(FgmmState::kDeregistered);
+  trace_globals();
+  return {};
+}
+
+// --- Amf ---------------------------------------------------------------------
+
+Amf::Amf(std::uint64_t hn_key, std::uint64_t seed, instrument::TraceLogger* trace)
+    : hn_key_(hn_key), trace_(trace), rng_state_(seed) {}
+
+void Amf::provision_subscriber(const std::string& supi, std::uint64_t permanent_key) {
+  udm_[supi] = permanent_key;
+}
+
+void Amf::debug_set_sqn(const std::string& supi, std::uint64_t seq, std::uint32_t ind) {
+  udm_sqn_[supi] = nas::SqnGenerator(seq, ind);
+}
+
+void Amf::trace_enter(std::string_view fn) {
+  if (trace_) trace_->enter(std::string(fn));
+}
+
+nas::NasPdu Amf::send_plain(NasMessage msg) {
+  trace_enter("send_" + std::string(standard_name(msg.type)));
+  return encode_plain(msg);
+}
+
+nas::NasPdu Amf::send_protected(NasMessage msg, SecHdr hdr) {
+  trace_enter("send_" + std::string(standard_name(msg.type)));
+  return protect(msg, sec_, Direction::kDownlink, hdr);
+}
+
+nas::NasPdu Amf::make_authentication_request() {
+  const std::uint64_t k = udm_.at(supi_);
+  nas::Sqn sqn = udm_sqn_[supi_].next();
+  Rng rng(rng_state_++);
+  rand_ = rng.next_bytes(16);
+  xres_ = nas::f2_res(k, rand_);
+  kasme_ = nas::derive_kasme(k, rand_, sqn.value());
+  nas::Autn autn;
+  autn.sqn_xor_ak = (sqn.value() ^ nas::f5_ak(k, rand_)) & nas::kSqnMask;
+  autn.amf = 0x8000;
+  autn.mac = nas::f1_mac(k, sqn.value(), rand_, autn.amf);
+  NasMessage req(MsgType::kAuthenticationRequest);
+  req.set_b("rand", rand_);
+  req.set_b("autn", autn.encode());
+  return send_plain(std::move(req));
+}
+
+std::vector<NasPdu> Amf::handle_uplink(const NasPdu& pdu) {
+  NasMessage msg;
+  if (pdu.sec_hdr == SecHdr::kPlain) {
+    auto decoded = nas::decode_payload(pdu.payload);
+    if (!decoded) return {};
+    msg = std::move(*decoded);
+  } else {
+    nas::UnprotectResult res = unprotect(pdu, sec_, Direction::kUplink);
+    if (res.status != nas::UnprotectResult::Status::kOk) return {};
+    if (last_ul_ && pdu.count <= *last_ul_) return {};
+    last_ul_ = pdu.count;
+    msg = std::move(res.msg);
+  }
+
+  switch (msg.type) {
+    case MsgType::kRegistrationRequest: {
+      trace_enter("recv_registration_request");
+      // Deconceal the SUCI (the home network holds the private key).
+      const std::string identity = msg.get_s("identity");
+      supi_.clear();
+      for (const auto& [supi, key] : udm_) {
+        if (conceal_supi(supi, hn_key_) == identity || guti_ == identity) supi_ = supi;
+      }
+      if (supi_.empty()) {
+        NasMessage reject(MsgType::kRegistrationReject);
+        reject.set_s("cause", "supi_unknown");
+        return {send_plain(std::move(reject))};
+      }
+      return {make_authentication_request()};
+    }
+    case MsgType::kAuthenticationResponse: {
+      trace_enter("recv_authentication_response");
+      if (msg.get_u("res") != xres_) return {};
+      sec_.establish(kasme_, 1, 1);
+      last_ul_.reset();
+      NasMessage smc(MsgType::kSecurityModeCommand);
+      smc.set_u("eia", 1);
+      smc.set_u("eea", 1);
+      return {send_protected(std::move(smc), SecHdr::kIntegrity)};
+    }
+    case MsgType::kAuthenticationFailure: {
+      trace_enter("recv_authentication_failure");
+      if (msg.get_s("cause") == "synch_failure") {
+        auto auts = nas::Auts::decode(msg.get_b("auts"));
+        if (!auts || supi_.empty()) return {};
+        const std::uint64_t k = udm_.at(supi_);
+        const std::uint64_t sqn_ms =
+            (auts->sqn_ms_xor_ak ^ nas::f5star_ak(k, rand_)) & nas::kSqnMask;
+        if (nas::f1star_mac(k, sqn_ms, rand_) != auts->mac_s) return {};
+        udm_sqn_[supi_] = nas::SqnGenerator(nas::Sqn::from_value(sqn_ms).seq,
+                                            nas::Sqn::from_value(sqn_ms).ind);
+      }
+      return {make_authentication_request()};
+    }
+    case MsgType::kSecurityModeComplete: {
+      trace_enter("recv_security_mode_complete");
+      guti_ = "5g-guti-" + std::to_string(++guti_serial_);
+      NasMessage accept(MsgType::kRegistrationAccept);
+      accept.set_s("guti", guti_);
+      return {send_protected(std::move(accept))};
+    }
+    case MsgType::kRegistrationComplete:
+      trace_enter("recv_registration_complete");
+      registered_ = true;
+      return {};
+    case MsgType::kConfigurationUpdateComplete:
+      trace_enter("recv_configuration_update_complete");
+      if (pending_ && pending_->awaiting == MsgType::kConfigurationUpdateComplete) {
+        pending_.reset();
+      }
+      return {};
+    case MsgType::kDeregistrationRequest: {
+      trace_enter("recv_deregistration_request");
+      registered_ = false;
+      nas::NasPdu accept = send_protected(NasMessage(MsgType::kDeregistrationAccept));
+      sec_.clear();
+      last_ul_.reset();
+      return {accept};
+    }
+    default:
+      return {};
+  }
+}
+
+std::vector<NasPdu> Amf::start_configuration_update() {
+  if (!registered_ || !sec_.valid) return {};
+  NasMessage cmd(MsgType::kConfigurationUpdateCommand);
+  cmd.set_s("guti", "5g-guti-" + std::to_string(guti_serial_ + 100));
+  pending_ = Pending{cmd, MsgType::kConfigurationUpdateComplete, kTimerPeriod, 0};
+  return {send_protected(std::move(cmd))};
+}
+
+std::vector<NasPdu> Amf::tick() {
+  if (!pending_) return {};
+  if (--pending_->ticks_left > 0) return {};
+  if (pending_->retransmissions < kMaxRetransmissions) {
+    ++pending_->retransmissions;
+    pending_->ticks_left = kTimerPeriod;
+    // "The network shall, on the first expiry of the timer T3555,
+    // retransmit the configuration_update_command" (TS 24.501).
+    return {send_protected(pending_->msg)};
+  }
+  // "...on the fifth expiry of timer T3555, the procedure shall be aborted".
+  pending_.reset();
+  ++procedures_aborted_;
+  return {};
+}
+
+void exchange(NrUe& ue, Amf& amf, std::vector<NasPdu> initial_uplink, int max_steps) {
+  std::vector<NasPdu> uplink = std::move(initial_uplink);
+  std::vector<NasPdu> downlink;
+  for (int step = 0; step < max_steps && (!uplink.empty() || !downlink.empty()); ++step) {
+    if (!downlink.empty()) {
+      NasPdu pdu = downlink.front();
+      downlink.erase(downlink.begin());
+      for (NasPdu& out : ue.handle_downlink(pdu)) uplink.push_back(std::move(out));
+      continue;
+    }
+    NasPdu pdu = uplink.front();
+    uplink.erase(uplink.begin());
+    for (NasPdu& out : amf.handle_uplink(pdu)) downlink.push_back(std::move(out));
+  }
+}
+
+bool complete_registration(NrUe& ue, Amf& amf) {
+  exchange(ue, amf, ue.power_on_register());
+  return ue.state() == FgmmState::kRegistered && ue.security().valid;
+}
+
+}  // namespace procheck::nr

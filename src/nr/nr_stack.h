@@ -1,0 +1,174 @@
+// 5G NR NAS (5GMM) stack — the paper's §IX adaptation ("ProChecker for 5G
+// implementations... this framework can easily be adapted to evaluate any
+// 5G implementations") plus its two "Impact on 5G" claims:
+//
+//   * The SQN generation/verification scheme of authentication_request "is
+//     exactly the same in the 5G specifications, making the 5G rollout
+//     directly vulnerable to P1 and P2" — this stack reuses the TS 33.102
+//     Annex C USIM verbatim (nas::Usim).
+//   * The 5G Configuration Update procedure retransmits on T3555 expiry and
+//     aborts on the fifth (TS 24.501), "making it possible to drop five
+//     messages [and] deny the procedure entirely" — the AMF implements the
+//     same bounded-retry discipline as the LTE MME.
+//
+// What 5G *fixes* is also modeled: the UE never sends its permanent
+// identity (SUPI) in clear — registration and identification use the
+// concealed SUCI — so the LTE-style pre-authentication IMSI catching and
+// I5-style leaks have no 5G counterpart.
+//
+// The stack follows the same event-driven, pre-instrumented shape as ue/ and
+// mme/: recv_*/send_* handlers, 5GMM state names logged as globals, and
+// condition locals — so the unchanged extractor, composer, and checker run
+// on its logs (the paper's central portability claim).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "instrument/trace_log.h"
+#include "nas/messages.h"
+#include "nas/security_context.h"
+#include "nas/sqn.h"
+
+namespace procheck::nr {
+
+/// 5GMM registration-management states (TS 24.501 §5.1.3).
+enum class FgmmState : std::uint8_t {
+  kDeregistered,
+  kRegisteredInitiated,
+  kRegistered,
+  kDeregisteredInitiated,
+  kServiceRequestInitiated,
+};
+
+std::string_view to_string(FgmmState s);
+
+inline constexpr std::string_view kNrStateNames[] = {
+    "FIVEGMM_DEREGISTERED",          "FIVEGMM_REGISTERED_INITIATED",
+    "FIVEGMM_REGISTERED",            "FIVEGMM_DEREGISTERED_INITIATED",
+    "FIVEGMM_SERVICE_REQUEST_INITIATED",
+};
+
+/// SUCI concealment (ECIES in real 5G; a keyed PRF at simulation fidelity —
+/// what matters is that the SUPI itself never appears on the air and that
+/// only the home network can invert the concealment).
+std::string conceal_supi(const std::string& supi, std::uint64_t hn_key);
+
+/// 5G UE (the analyzed subject). Reuses the TS 33.102 Annex C USIM — the
+/// SQN handling the paper shows carries P1/P2 into 5G.
+class NrUe {
+ public:
+  NrUe(std::uint64_t permanent_key, std::string supi, std::uint64_t hn_key,
+       instrument::TraceLogger* trace = nullptr,
+       std::optional<std::uint64_t> sqn_freshness_limit = std::nullopt);
+
+  std::vector<nas::NasPdu> power_on_register();
+  std::vector<nas::NasPdu> trigger_deregister();
+  std::vector<nas::NasPdu> handle_downlink(const nas::NasPdu& pdu);
+
+  FgmmState state() const { return state_; }
+  const nas::SecurityContext& security() const { return sec_; }
+  const std::string& guti() const { return guti_; }
+  const std::string& supi() const { return supi_; }
+  int authentications_completed() const { return auth_runs_; }
+  int protected_discards() const { return protected_discards_; }
+
+ private:
+  std::vector<nas::NasPdu> recv_authentication_request(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_security_mode_command(const nas::NasPdu& pdu);
+  std::vector<nas::NasPdu> recv_registration_accept(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_registration_reject(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_configuration_update_command(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_identity_request(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_deregistration_accept(const nas::NasMessage& msg);
+
+  nas::NasPdu send_message(nas::NasMessage msg, bool force_plain = false);
+  void trace_enter_recv(std::string_view name);
+  void trace_globals();
+  void set_state(FgmmState next);
+
+  instrument::TraceLogger* trace_;
+  std::string supi_;
+  std::uint64_t hn_key_;
+  std::string guti_ = "none";
+  nas::Usim usim_;
+  nas::SecurityContext sec_;
+  std::optional<std::uint64_t> pending_kasme_;
+  std::optional<std::uint32_t> last_dl_;
+  FgmmState state_ = FgmmState::kDeregistered;
+  std::optional<nas::SecHdr> current_hdr_;
+  int auth_runs_ = 0;
+  int protected_discards_ = 0;
+};
+
+/// 5G core (AMF + UDM/AUSF in one): SUCI deconcealment, 5G AKA with the
+/// same HSS-side SQN generator, SMC, registration, and the T3555-supervised
+/// configuration update with the ×4 retransmission bound.
+class Amf {
+ public:
+  explicit Amf(std::uint64_t hn_key, std::uint64_t seed = 0xA3FULL,
+               instrument::TraceLogger* trace = nullptr);
+
+  void provision_subscriber(const std::string& supi, std::uint64_t permanent_key);
+
+  std::vector<nas::NasPdu> handle_uplink(const nas::NasPdu& pdu);
+  std::vector<nas::NasPdu> start_configuration_update();
+  /// T3555 tick; retransmits, aborts on the 5th expiry.
+  std::vector<nas::NasPdu> tick();
+
+  const std::string& assigned_guti() const { return guti_; }
+  bool has_pending_procedure() const { return pending_.has_value(); }
+  int procedures_aborted() const { return procedures_aborted_; }
+  /// HSS hook mirroring mme::MmeNas::debug_set_sqn.
+  void debug_set_sqn(const std::string& supi, std::uint64_t seq, std::uint32_t ind = 0);
+
+  static constexpr int kTimerPeriod = 3;       // T3555, in ticks
+  static constexpr int kMaxRetransmissions = 4;
+
+ private:
+  nas::NasPdu make_authentication_request();
+  nas::NasPdu send_plain(nas::NasMessage msg);
+  nas::NasPdu send_protected(nas::NasMessage msg,
+                             nas::SecHdr hdr = nas::SecHdr::kIntegrityCiphered);
+  void trace_enter(std::string_view fn);
+
+  std::uint64_t hn_key_;
+  instrument::TraceLogger* trace_;
+  std::map<std::string, std::uint64_t> udm_;          // SUPI -> permanent key
+  std::map<std::string, nas::SqnGenerator> udm_sqn_;  // SUPI -> SQN state
+
+  std::string supi_;  // bound after deconcealment
+  std::string guti_ = "none";
+  nas::SecurityContext sec_;
+  std::optional<std::uint32_t> last_ul_;
+  Bytes rand_;
+  std::uint64_t xres_ = 0;
+  std::uint64_t kasme_ = 0;
+  bool registered_ = false;
+
+  struct Pending {
+    nas::NasMessage msg;
+    nas::MsgType awaiting;
+    int ticks_left = kTimerPeriod;
+    int retransmissions = 0;
+  };
+  std::optional<Pending> pending_;
+  int procedures_aborted_ = 0;
+  std::uint64_t rng_state_;
+  int guti_serial_ = 0;
+};
+
+/// Single-UE harness: forwards messages between the two stacks until both
+/// directions are quiescent (tests/benches/examples driver).
+void exchange(NrUe& ue, Amf& amf, std::vector<nas::NasPdu> initial_uplink,
+              int max_steps = 200);
+
+/// Drives a complete 5G registration; true when the UE reaches
+/// FIVEGMM_REGISTERED with a valid context.
+bool complete_registration(NrUe& ue, Amf& amf);
+
+}  // namespace procheck::nr

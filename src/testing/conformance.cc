@@ -1,0 +1,566 @@
+#include "testing/conformance.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "nas/crypto.h"
+#include "ue/emm_state.h"
+
+namespace procheck::testing {
+
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+using nas::SecHdr;
+
+namespace {
+
+/// Message types of uplink captures appended after index `from`, using the
+/// testbed's white-box decode for ciphered payloads (verdict-side only).
+std::vector<MsgType> uplink_types_since(const Testbed& tb, std::size_t from) {
+  std::vector<MsgType> out;
+  for (std::size_t i = from; i < tb.uplink_captures().size(); ++i) {
+    const Capture& c = tb.uplink_captures()[i];
+    if (c.clear) out.push_back(c.clear->type);
+  }
+  return out;
+}
+
+bool sent_uplink_since(const Testbed& tb, std::size_t from, MsgType type) {
+  auto types = uplink_types_since(tb, from);
+  return std::find(types.begin(), types.end(), type) != types.end();
+}
+
+/// One-shot downlink tamperer: mutates the first PDU matching `type`.
+/// Identifies ciphered messages via the testbed's white-box decode (the
+/// tamper itself — MAC/AUTN corruption — needs no plaintext access).
+Interceptor corrupt_first_downlink(const Testbed& tb, MsgType type, bool* done) {
+  return [&tb, type, done](int conn, const NasPdu& pdu) {
+    if (*done) return AdversaryAction::pass();
+    auto msg = tb.decode(conn, pdu, /*downlink=*/true);
+    if (!msg || msg->type != type) return AdversaryAction::pass();
+    *done = true;
+    NasPdu bad = pdu;
+    if (type == MsgType::kAuthenticationRequest) {
+      // Corrupt the AUTN's MAC octets so the USIM's f1 check fails.
+      NasMessage m = *msg;
+      Bytes autn = m.get_b("autn");
+      if (!autn.empty()) autn.back() ^= 0xFF;
+      m.set_b("autn", autn);
+      bad.payload = nas::encode_payload(m);
+    } else {
+      // Corrupt the NAS-MAC of a protected message.
+      bad.mac ^= 0xDEADBEEFULL;
+    }
+    return AdversaryAction::replace(bad);
+  };
+}
+
+Interceptor drop_first_downlink(const Testbed& tb, MsgType type, bool* done) {
+  return [&tb, type, done](int conn, const NasPdu& pdu) {
+    if (*done) return AdversaryAction::pass();
+    auto msg = tb.decode(conn, pdu, /*downlink=*/true);
+    if (!msg || msg->type != type) return AdversaryAction::pass();
+    *done = true;
+    return AdversaryAction::drop();
+  };
+}
+
+std::vector<TestCase> build_suite() {
+  std::vector<TestCase> suite;
+
+  suite.push_back({"TC_NAS_ATT_01", "Initial attach with AKA and SMC completes",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     return tb.ue(conn).guti() != "none" &&
+                            tb.ue(conn).security().valid &&
+                            tb.mme().state(conn) == mme::MmeState::kRegistered;
+                   }});
+
+  suite.push_back({"TC_NAS_ATT_02", "Attach with unknown subscriber is rejected",
+                   [](Testbed& tb, int) {
+                     int rogue = tb.add_unprovisioned_ue(ue::StackProfile::cls(),
+                                                         "999990000000001", 0xBAD);
+                     tb.power_on(rogue);
+                     tb.run_until_quiet();
+                     return ue::is_deregistered(tb.ue(rogue).state()) &&
+                            !tb.ue(rogue).security().valid;
+                   }});
+
+  suite.push_back({"TC_NAS_ATT_03", "Re-attach with stale GUTI runs identification",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.ue_detach(conn);
+                     tb.run_until_quiet();
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            sent_uplink_since(tb, mark, MsgType::kIdentityResponse);
+                   }});
+
+  suite.push_back({"TC_NAS_ATT_04", "attach_accept is retransmitted on T3450 expiry",
+                   [](Testbed& tb, int conn) {
+                     bool dropped = false;
+                     tb.set_downlink_interceptor(
+                         drop_first_downlink(tb, MsgType::kAttachAccept, &dropped));
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     if (ue::is_registered(tb.ue(conn).state())) return false;  // drop failed
+                     tb.tick(mme::MmeNas::kTimerPeriod);
+                     return ue::is_registered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_AKA_01", "Corrupted AUTN yields MAC-failure then recovery",
+                   [](Testbed& tb, int conn) {
+                     bool corrupted = false;
+                     tb.set_downlink_interceptor(
+                         corrupt_first_downlink(tb, MsgType::kAuthenticationRequest, &corrupted));
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            sent_uplink_since(tb, mark, MsgType::kAuthenticationFailure);
+                   }});
+
+  suite.push_back({"TC_NAS_AKA_02", "Stale HSS SQN triggers resynchronization then recovery",
+                   [](Testbed& tb, int conn) {
+                     // Two attach/detach rounds advance the USIM's SQN array
+                     // to SEQ=2; regressing the HSS counter then yields a
+                     // vector whose SEQ is *strictly smaller* than the
+                     // stored one — a synchronization failure on every
+                     // profile (even the equal-SEQ-tolerant one).
+                     for (int round = 0; round < 2; ++round) {
+                       if (!complete_attach(tb, conn)) return false;
+                       tb.ue_detach(conn);
+                       tb.run_until_quiet();
+                     }
+                     tb.mme().debug_set_sqn(kTestImsi, 0, 0);
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            sent_uplink_since(tb, mark, MsgType::kAuthenticationFailure);
+                   }});
+
+  suite.push_back({"TC_NAS_AKA_03", "Tampered RES yields authentication_reject",
+                   [](Testbed& tb, int conn) {
+                     bool tampered = false;
+                     tb.set_uplink_interceptor([&tampered](int, const NasPdu& pdu) {
+                       if (tampered) return AdversaryAction::pass();
+                       auto msg = nas::decode_payload(pdu.payload);
+                       if (!msg || msg->type != MsgType::kAuthenticationResponse) {
+                         return AdversaryAction::pass();
+                       }
+                       tampered = true;
+                       NasMessage m = *msg;
+                       m.set_u("res", m.get_u("res") ^ 1);
+                       NasPdu bad = pdu;
+                       bad.payload = nas::encode_payload(m);
+                       return AdversaryAction::replace(bad);
+                     });
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     return ue::is_deregistered(tb.ue(conn).state()) &&
+                            !tb.ue(conn).security().valid;
+                   }});
+
+  suite.push_back({"TC_NAS_SMC_01", "SMC with invalid MAC is rejected",
+                   [](Testbed& tb, int conn) {
+                     bool corrupted = false;
+                     tb.set_downlink_interceptor(
+                         corrupt_first_downlink(tb, MsgType::kSecurityModeCommand, &corrupted));
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     return !tb.ue(conn).security().valid &&
+                            sent_uplink_since(tb, mark, MsgType::kSecurityModeReject);
+                   }});
+
+  suite.push_back({"TC_NAS_GUTI_01", "GUTI reallocation completes and rotates the GUTI",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::string before = tb.ue(conn).guti();
+                     tb.mme_guti_reallocation(conn);
+                     tb.run_until_quiet();
+                     return tb.ue(conn).guti() != before &&
+                            tb.ue(conn).guti() == tb.mme().guti(conn) &&
+                            !tb.mme().has_pending_procedure(conn);
+                   }});
+
+  suite.push_back({"TC_NAS_GUTI_02", "GUTI reallocation retransmits on T3450 expiry",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::string before = tb.ue(conn).guti();
+                     bool dropped = false;
+                     tb.set_downlink_interceptor(
+                         drop_first_downlink(tb, MsgType::kGutiReallocationCommand, &dropped));
+                     tb.mme_guti_reallocation(conn);
+                     tb.run_until_quiet();
+                     tb.tick(mme::MmeNas::kTimerPeriod);
+                     return tb.ue(conn).guti() != before &&
+                            !tb.mme().has_pending_procedure(conn);
+                   }});
+
+  suite.push_back({"TC_NAS_TAU_01", "Tracking area update completes when registered",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.ue_tau(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_TAU_02", "TAU without security context is rejected",
+                   [](Testbed& tb, int conn) {
+                     tb.ue_tau(conn);
+                     tb.run_until_quiet();
+                     return tb.ue(conn).state() == ue::EmmState::kRegisteredAttemptingToUpdate;
+                   }});
+
+  suite.push_back({"TC_NAS_DET_01", "UE-initiated detach completes",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.ue_detach(conn);
+                     tb.run_until_quiet();
+                     return ue::is_deregistered(tb.ue(conn).state()) &&
+                            tb.mme().state(conn) == mme::MmeState::kDeregistered;
+                   }});
+
+  suite.push_back({"TC_NAS_DET_02", "Network-initiated detach (re-attach required) completes",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.mme_detach(conn);
+                     tb.run_until_quiet();
+                     return ue::is_deregistered(tb.ue(conn).state()) &&
+                            sent_uplink_since(tb, mark, MsgType::kDetachAccept);
+                   }});
+
+  suite.push_back({"TC_NAS_DET_03", "Network-initiated detach without re-attach completes",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     // Craft the non-reattach variant (exercises the
+                     // EMM_DEREGISTERED_LIMITED_SERVICE substate).
+                     NasMessage req(MsgType::kDetachRequest);
+                     req.set_s("detach_type", "plain_detach");
+                     tb.inject_downlink(conn, nas::encode_plain(req));
+                     tb.run_until_quiet();
+                     return ue::is_deregistered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_SRV_01", "Paging triggers service request and grant",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.mme_paging(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            sent_uplink_since(tb, mark, MsgType::kServiceRequest);
+                   }});
+
+  suite.push_back({"TC_NAS_SRV_02", "Unauthenticated service request is rejected",
+                   [](Testbed& tb, int conn) {
+                     NasMessage req(MsgType::kServiceRequest);
+                     req.set_s("identity", "guti-unknown");
+                     tb.inject_uplink(conn, nas::encode_plain(req));
+                     tb.run_until_quiet();
+                     return ue::is_deregistered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_SRV_03", "UE-triggered service request succeeds when registered",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.ue_service_request(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_PAG_01", "Paging with foreign identity is ignored",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::size_t mark = tb.uplink_captures().size();
+                     NasMessage page(MsgType::kPaging);
+                     page.set_s("identity", "guti-99999");
+                     tb.inject_downlink(conn, nas::encode_plain(page));
+                     tb.run_until_quiet();
+                     return uplink_types_since(tb, mark).empty();
+                   }});
+
+  suite.push_back({"TC_NAS_CFG_01", "Configuration update completes",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.mme_configuration_update(conn);
+                     tb.run_until_quiet();
+                     return !tb.mme().has_pending_procedure(conn);
+                   }});
+
+  suite.push_back({"TC_NAS_ID_01", "Protected identity request is answered",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.mme_identity_request(conn);
+                     tb.run_until_quiet();
+                     return !tb.mme().has_pending_procedure(conn);
+                   }});
+
+  suite.push_back({"TC_NAS_ESM_01", "Default EPS bearer activated via attach piggyback",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     return tb.ue(conn).esm_bearer_id() == 5;
+                   }});
+
+  suite.push_back({"TC_NAS_ATT_05", "Re-attach after UE detach completes with a fresh AKA",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.ue_detach(conn);
+                     tb.run_until_quiet();
+                     if (!ue::is_deregistered(tb.ue(conn).state())) return false;
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            tb.ue(conn).authentications_completed() == 2;
+                   }});
+
+  suite.push_back({"TC_NAS_ATT_06", "Three consecutive attach/detach cycles stay stable",
+                   [](Testbed& tb, int conn) {
+                     for (int round = 0; round < 3; ++round) {
+                       if (!complete_attach(tb, conn)) return false;
+                       tb.ue_detach(conn);
+                       tb.run_until_quiet();
+                       if (!ue::is_deregistered(tb.ue(conn).state())) return false;
+                     }
+                     // The USIM consumed three strictly increasing SQNs.
+                     return tb.ue(conn).usim().highest_accepted_seq() == 3;
+                   }});
+
+  suite.push_back({"TC_NAS_GUTI_03", "Repeated GUTI reallocations rotate the identifier",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::set<std::string> seen{tb.ue(conn).guti()};
+                     for (int round = 0; round < 3; ++round) {
+                       tb.mme_guti_reallocation(conn);
+                       tb.run_until_quiet();
+                       if (!seen.insert(tb.ue(conn).guti()).second) return false;
+                     }
+                     return seen.size() == 4;
+                   }});
+
+  suite.push_back({"TC_NAS_SRV_04", "Paging after TAU still reaches the UE",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     tb.ue_tau(conn);
+                     tb.run_until_quiet();
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.mme_paging(conn);
+                     tb.run_until_quiet();
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            sent_uplink_since(tb, mark, MsgType::kServiceRequest);
+                   }});
+
+  // --- Security-conformance cases (the deviant profiles fail these) ----------
+
+  suite.push_back({"TC_NAS_SEC_01", "Replayed protected downlink message is discarded",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     // Replay the captured attach_accept (stale NAS COUNT).
+                     const Capture* accept = nullptr;
+                     for (const Capture& c : tb.downlink_captures()) {
+                       if (c.pdu.sec_hdr == SecHdr::kIntegrityCiphered) accept = &c;
+                     }
+                     if (!accept) return false;
+                     tb.inject_downlink(conn, accept->pdu);
+                     tb.run_until_quiet();
+                     return tb.ue(conn).replays_accepted() == 0;
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_02", "Plain message after security context is discarded",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     NasMessage cmd(MsgType::kGutiReallocationCommand);
+                     cmd.set_s("guti", "guti-attacker");
+                     tb.inject_downlink(conn, nas::encode_plain(cmd));
+                     tb.run_until_quiet();
+                     return tb.ue(conn).plain_accepted_after_ctx() == 0 &&
+                            tb.ue(conn).guti() != "guti-attacker";
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_03", "Replayed authentication_request (same SQN) is refused",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     const NasPdu* auth =
+                         tb.last_downlink_of_type(conn, MsgType::kAuthenticationRequest);
+                     if (!auth) return false;
+                     std::size_t mark = tb.uplink_captures().size();
+                     tb.inject_downlink(conn, *auth);
+                     tb.run_until_quiet();
+                     auto types = uplink_types_since(tb, mark);
+                     return !types.empty() && types.front() == MsgType::kAuthenticationFailure;
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_04", "attach_reject deletes the security context",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     NasMessage reject(MsgType::kAttachReject);
+                     reject.set_s("cause", "illegal_ue");
+                     tb.inject_downlink(conn, nas::encode_plain(reject));
+                     tb.run_until_quiet();
+                     if (!ue::is_deregistered(tb.ue(conn).state())) return false;
+                     int runs_before = tb.ue(conn).authentications_completed();
+                     tb.power_on(conn);
+                     tb.run_until_quiet();
+                     // Conformant: re-registration requires a fresh AKA run.
+                     return ue::is_registered(tb.ue(conn).state()) &&
+                            tb.ue(conn).authentications_completed() == runs_before + 1;
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_07", "Replayed security_mode_command is discarded",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     const NasPdu* smc =
+                         tb.last_downlink_of_type(conn, MsgType::kSecurityModeCommand);
+                     if (!smc) return false;
+                     tb.inject_downlink(conn, *smc);
+                     tb.run_until_quiet();
+                     // Spec behavior: the stale SMC must be ignored. Every
+                     // analyzed stack answers it (I6's linkability surface).
+                     return tb.ue(conn).replays_accepted() == 0;
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_08", "Plain service_reject detaches a registered UE (standards gap)",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     NasMessage reject(MsgType::kServiceReject);
+                     reject.set_s("cause", "not_authorized");
+                     tb.inject_downlink(conn, nas::encode_plain(reject));
+                     tb.run_until_quiet();
+                     // Deployed behavior (the numb/service-denial attack
+                     // surface): the unauthenticated reject is processed.
+                     return ue::is_deregistered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_06", "Plain detach_request is processed (deployed standards gap)",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     NasMessage req(MsgType::kDetachRequest);
+                     req.set_s("detach_type", "reattach_required");
+                     tb.inject_downlink(conn, nas::encode_plain(req));
+                     tb.run_until_quiet();
+                     // Deployed behavior (and the attack surface): the UE
+                     // detaches on the unauthenticated request.
+                     return ue::is_deregistered(tb.ue(conn).state());
+                   }});
+
+  suite.push_back({"TC_NAS_SEC_05", "Plain identity_request after context is ignored",
+                   [](Testbed& tb, int conn) {
+                     if (!complete_attach(tb, conn)) return false;
+                     std::size_t mark = tb.uplink_captures().size();
+                     NasMessage req(MsgType::kIdentityRequest);
+                     req.set_s("id_type", "imsi");
+                     tb.inject_downlink(conn, nas::encode_plain(req));
+                     tb.run_until_quiet();
+                     return uplink_types_since(tb, mark).empty();
+                   }});
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<TestCase>& conformance_suite() {
+  static const std::vector<TestCase> kSuite = build_suite();
+  return kSuite;
+}
+
+bool complete_attach(Testbed& tb, int conn) {
+  tb.power_on(conn);
+  tb.run_until_quiet();
+  return ue::is_registered(tb.ue(conn).state()) &&
+         tb.mme().state(conn) == mme::MmeState::kRegistered;
+}
+
+std::optional<NasPdu> capture_dropped_challenge(Testbed& tb, int conn) {
+  bool done = false;
+  std::optional<NasPdu> captured;
+  tb.set_downlink_interceptor([&done, &captured, conn](int c, const NasPdu& pdu) {
+    if (c != conn || done) return AdversaryAction::pass();
+    auto msg = nas::decode_payload(pdu.payload);
+    if (!msg || msg->type != MsgType::kAuthenticationRequest) {
+      return AdversaryAction::pass();
+    }
+    done = true;
+    captured = pdu;
+    return AdversaryAction::drop();
+  });
+  // Malicious-UE attach with the victim's identity: the MME generates and
+  // transmits a fresh challenge, which the adversary swallows.
+  NasMessage req(MsgType::kAttachRequest);
+  req.set_s("identity", tb.ue(conn).imsi());
+  tb.inject_uplink(conn, nas::encode_plain(req));
+  tb.run_until_quiet();
+  tb.clear_interceptors();
+  // Restore the victim's registration (the attacker's attach_request reset
+  // the MME-side session).
+  tb.power_on(conn);
+  tb.run_until_quiet();
+  if (!ue::is_registered(tb.ue(conn).state())) return std::nullopt;
+  return captured;
+}
+
+int ConformanceReport::passed() const {
+  int n = 0;
+  for (const TestResult& r : results) {
+    if (r.passed) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> expected_ue_handlers(const ue::StackProfile& profile) {
+  static constexpr std::string_view kIncoming[] = {
+      "power_on_trigger", "detach_trigger", "service_request_trigger", "tau_trigger",
+      "authentication_request", "security_mode_command", "attach_accept", "attach_reject",
+      "identity_request", "guti_reallocation_command", "detach_request", "detach_accept",
+      "tracking_area_update_accept", "tracking_area_update_reject", "service_reject",
+      "paging", "authentication_reject", "configuration_update_command", "emm_information",
+  };
+  static constexpr std::string_view kOutgoing[] = {
+      "attach_request", "attach_complete", "authentication_response",
+      "authentication_failure", "security_mode_complete", "security_mode_reject",
+      "identity_response", "guti_reallocation_complete", "detach_request", "detach_accept",
+      "tracking_area_update_request", "service_request", "configuration_update_complete",
+  };
+  std::vector<std::string> out;
+  for (std::string_view h : kIncoming) out.push_back(profile.recv_prefix + std::string(h));
+  for (std::string_view h : kOutgoing) out.push_back(profile.send_prefix + std::string(h));
+  return out;
+}
+
+ConformanceReport run_conformance(const ue::StackProfile& profile,
+                                  instrument::TraceLogger& trace) {
+  ConformanceReport report;
+  for (const TestCase& tc : conformance_suite()) {
+    trace.test_case(tc.id);
+    Testbed tb(&trace);
+    int conn = tb.add_ue(profile, kTestImsi, kTestKey);
+    bool ok = tc.run(tb, conn);
+    report.results.push_back({tc.id, ok});
+  }
+
+  // Handler coverage from the accumulated trace.
+  std::set<std::string> entered;
+  for (const instrument::LogRecord& rec : trace.records()) {
+    if (rec.kind == instrument::LogRecord::Kind::kEnter) entered.insert(rec.name);
+  }
+  std::vector<std::string> expected = expected_ue_handlers(profile);
+  int hit = 0;
+  for (const std::string& h : expected) {
+    if (entered.count(h) > 0) {
+      ++hit;
+    } else {
+      report.unexercised.push_back(h);
+    }
+  }
+  report.handler_coverage = expected.empty() ? 0.0 : static_cast<double>(hit) / expected.size();
+  return report;
+}
+
+}  // namespace procheck::testing

@@ -1,0 +1,75 @@
+// Functional conformance test suite (the paper's §VI "Conformance test
+// suite" substrate).
+//
+// Each test case scripts one protocol-level interaction against the live
+// testbed, in the style of 3GPP TS 36.523 protocol conformance tests, and
+// returns a spec-conformance verdict. Executing the suite against an
+// instrumented stack produces the information-rich log the model extractor
+// consumes — that is the suite's primary role in the ProChecker pipeline;
+// the pass/fail verdicts additionally reproduce the paper's observation
+// that deviant stacks (srsue/oai profiles) fail specific conformance cases
+// while the closed-source profile passes all of them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "instrument/trace_log.h"
+#include "testing/testbed.h"
+#include "ue/profile.h"
+
+namespace procheck::testing {
+
+struct TestCase {
+  std::string id;     // e.g. "TC_NAS_ATT_01"
+  std::string title;  // one-line behavioral statement
+  /// Runs the scenario on a fresh testbed whose single UE is `conn`.
+  /// Returns the spec-conformance verdict.
+  std::function<bool(Testbed& tb, int conn)> run;
+};
+
+/// The full suite, in execution order.
+const std::vector<TestCase>& conformance_suite();
+
+struct TestResult {
+  std::string id;
+  bool passed = false;
+};
+
+struct ConformanceReport {
+  std::vector<TestResult> results;
+  double handler_coverage = 0.0;             // exercised / expected UE handlers
+  std::vector<std::string> unexercised;      // handler names never entered
+
+  int total() const { return static_cast<int>(results.size()); }
+  int passed() const;
+};
+
+/// Runs the whole suite for one stack profile, accumulating the execution
+/// log into `trace` ([TEST] markers delimit cases). Every case gets a fresh
+/// testbed + UE so cases are independent.
+ConformanceReport run_conformance(const ue::StackProfile& profile,
+                                  instrument::TraceLogger& trace);
+
+/// The UE handler names (with the profile's prefixes applied) the coverage
+/// accounting expects to see — the denominator of `handler_coverage`.
+std::vector<std::string> expected_ue_handlers(const ue::StackProfile& profile);
+
+/// Drives a complete attach (power-on through attach_complete). Returns
+/// true when the UE reached the registered state. Shared by test cases,
+/// attack replays, and examples.
+bool complete_attach(Testbed& tb, int conn);
+
+/// Fig. 4, phase 1 of the P1/P2 attacks: the adversary elicits a fresh
+/// authentication challenge for `conn`'s subscriber (attach_request with the
+/// victim's identity from a malicious UE), captures it, and drops it in
+/// transit so the victim never consumes its SQN. The victim is then
+/// re-attached to restore a registered steady state. Returns the captured
+/// challenge (stale but replayable) or nullopt on failure.
+std::optional<nas::NasPdu> capture_dropped_challenge(Testbed& tb, int conn);
+
+inline constexpr const char* kTestImsi = "001010123456789";
+inline constexpr std::uint64_t kTestKey = 0x5EC2E7ULL;
+
+}  // namespace procheck::testing

@@ -1,0 +1,187 @@
+#include "testing/replay.h"
+
+#include "testing/conformance.h"
+
+namespace procheck::testing {
+
+using mc::CommandMeta;
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+
+NasPdu CounterexampleReplayer::craft_plain(const std::string& message) const {
+  auto type = nas::msg_type_from_name(message);
+  NasMessage msg(type.value_or(MsgType::kEmmInformation));
+  // Populate the fields the handlers read, with adversary-chosen values.
+  switch (msg.type) {
+    case MsgType::kAttachReject:
+    case MsgType::kServiceReject:
+    case MsgType::kTauReject:
+      msg.set_s("cause", "not_authorized");
+      break;
+    case MsgType::kDetachRequest:
+      msg.set_s("detach_type", "reattach_required");
+      break;
+    case MsgType::kIdentityRequest:
+      msg.set_s("id_type", "imsi");
+      break;
+    case MsgType::kPaging:
+      msg.set_s("identity", tb_.ue(conn_).guti());
+      break;
+    case MsgType::kGutiReallocationCommand:
+      msg.set_s("guti", "guti-adversary");
+      break;
+    default:
+      break;
+  }
+  return nas::encode_plain(msg);
+}
+
+bool CounterexampleReplayer::execute_adversary_step(const mc::TraceStep& step,
+                                                    ReplayReport& report) {
+  const std::string& message = step.meta.message;
+  auto type = nas::msg_type_from_name(message);
+
+  switch (step.meta.kind) {
+    case CommandMeta::Kind::kDrop: {
+      // Arm a one-shot drop for the next transmission of this type. If the
+      // message is already in flight, it is dropped immediately; otherwise
+      // a timer period is advanced to provoke (and drop) the next
+      // retransmission — or, once the retry budget is spent, to let the
+      // supervising procedure abort.
+      auto dropped = std::make_shared<bool>(false);
+      tb_.set_downlink_interceptor([this, type, dropped](int c, const NasPdu& pdu) {
+        if (*dropped || c != conn_) return AdversaryAction::pass();
+        auto msg = tb_.decode(c, pdu, /*downlink=*/true);
+        if (!msg || !type || msg->type != *type) return AdversaryAction::pass();
+        *dropped = true;
+        return AdversaryAction::drop();
+      });
+      tb_.run_until_quiet();
+      if (!*dropped) tb_.tick(mme::MmeNas::kTimerPeriod);
+      tb_.clear_interceptors();
+      report.actions.push_back("drop " + message + (*dropped ? " (dropped)" : " (timer advanced)"));
+      return true;  // dropping is always within the adversary's power
+    }
+
+    case CommandMeta::Kind::kReplay: {
+      if (message == "authentication_request") {
+        // Fig. 4 phase 1: elicit and capture a challenge the victim never
+        // consumed, then replay it.
+        auto captured = capture_dropped_challenge(tb_, conn_);
+        if (!captured) {
+          report.failure = "could not capture an authentication_request";
+          return false;
+        }
+        tb_.inject_downlink(conn_, *captured);
+        report.actions.push_back("replay authentication_request (captured per Fig. 4)");
+        return true;
+      }
+      const NasPdu* captured =
+          type ? tb_.last_downlink_of_type(conn_, *type) : nullptr;
+      if (!captured) {
+        report.failure = "no captured " + message + " to replay";
+        return false;
+      }
+      tb_.inject_downlink(conn_, *captured);
+      report.actions.push_back("replay captured " + message);
+      return true;
+    }
+
+    case CommandMeta::Kind::kInject: {
+      // The CPV already pruned unforgeable injections; what remains is a
+      // plaintext message the adversary can craft outright.
+      tb_.inject_downlink(conn_, craft_plain(message));
+      report.actions.push_back("inject plaintext " + message);
+      return true;
+    }
+
+    default:
+      return true;
+  }
+}
+
+ReplayReport CounterexampleReplayer::replay(const mc::CounterExample& cex,
+                                            int loop_unrollings) {
+  ReplayReport report;
+
+  auto run_step = [&](const mc::TraceStep& step) -> bool {
+    switch (step.meta.actor) {
+      case CommandMeta::Actor::kAdversary:
+        ++report.adversary_steps;
+        if (!execute_adversary_step(step, report)) return false;
+        ++report.realized_steps;
+        return true;
+      case CommandMeta::Actor::kUe:
+      case CommandMeta::Actor::kMme:
+        if (step.meta.kind == CommandMeta::Kind::kInternal) {
+          // Internal triggers only *enqueue* traffic — no delivery yet, so
+          // a subsequent adversary drop step can act on the in-flight PDU.
+          if (step.meta.message == "power_on_trigger") tb_.power_on(conn_);
+          if (step.meta.message == "detach_trigger") tb_.ue_detach(conn_);
+          if (step.meta.message == "tau_trigger") tb_.ue_tau(conn_);
+          if (step.meta.message == "service_request_trigger") tb_.ue_service_request(conn_);
+          if (step.meta.message == "guti_realloc_trigger") tb_.mme_guti_reallocation(conn_);
+          if (step.meta.message == "config_update_trigger") tb_.mme_configuration_update(conn_);
+          if (step.meta.message == "paging_trigger") tb_.mme_paging(conn_);
+          if (step.meta.message == "detach_trigger_mme") tb_.mme_detach(conn_);
+          report.actions.push_back("internal " + step.meta.message);
+          return true;
+        }
+        // A genuine delivery: advance the testbed.
+        tb_.run_until_quiet();
+        return true;
+    }
+    return true;
+  };
+
+  bool ok = true;
+  const int prefix_end = cex.loop_start >= 0 ? cex.loop_start : static_cast<int>(cex.steps.size());
+  for (int i = 0; ok && i < prefix_end; ++i) {
+    ok = run_step(cex.steps[static_cast<std::size_t>(i)]);
+  }
+  if (ok && cex.loop_start >= 0) {
+    for (int round = 0; ok && round < loop_unrollings; ++round) {
+      for (std::size_t i = static_cast<std::size_t>(cex.loop_start);
+           ok && i < cex.steps.size(); ++i) {
+        ok = run_step(cex.steps[i]);
+      }
+    }
+    // A lasso means the adversary sustains its dropping forever. Emulate
+    // "forever": arm persistent drops for every message type the trace
+    // dropped and drive time through the whole retransmission budget, so
+    // timer-supervised procedures reach their abort (the P3 outcome).
+    std::set<MsgType> dropped_types;
+    for (const mc::TraceStep& step : cex.steps) {
+      if (step.meta.kind == CommandMeta::Kind::kDrop) {
+        if (auto type = nas::msg_type_from_name(step.meta.message)) {
+          dropped_types.insert(*type);
+        }
+      }
+    }
+    if (ok && !dropped_types.empty()) {
+      tb_.set_downlink_interceptor([this, dropped_types](int c, const NasPdu& pdu) {
+        auto msg = tb_.decode(c, pdu, /*downlink=*/true);
+        if (c == conn_ && msg && dropped_types.count(msg->type) > 0) {
+          return AdversaryAction::drop();
+        }
+        return AdversaryAction::pass();
+      });
+      tb_.tick(mme::MmeNas::kTimerPeriod * (mme::MmeNas::kMaxRetransmissions + 2));
+      tb_.clear_interceptors();
+      report.actions.push_back("sustained drops through the retransmission budget");
+    }
+  }
+
+  tb_.run_until_quiet();  // flush any remaining traffic
+  report.completed = ok && report.realized_steps == report.adversary_steps;
+  report.final_ue_state = tb_.ue(conn_).state();
+  report.ue_context_valid = tb_.ue(conn_).security().valid;
+  report.ue_replays_accepted = tb_.ue(conn_).replays_accepted();
+  report.ue_plain_accepted = tb_.ue(conn_).plain_accepted_after_ctx();
+  report.ue_authentications = tb_.ue(conn_).authentications_completed();
+  report.mme_aborted_procedures = tb_.mme().procedures_aborted();
+  return report;
+}
+
+}  // namespace procheck::testing

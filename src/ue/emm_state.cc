@@ -1,0 +1,52 @@
+#include "ue/emm_state.h"
+
+namespace procheck::ue {
+
+std::string_view to_string(EmmState s) {
+  switch (s) {
+    case EmmState::kNull:
+      return "EMM_NULL";
+    case EmmState::kDeregistered:
+      return "EMM_DEREGISTERED";
+    case EmmState::kRegisteredInitiated:
+      return "EMM_REGISTERED_INITIATED";
+    case EmmState::kRegistered:
+      return "EMM_REGISTERED";
+    case EmmState::kDeregisteredInitiated:
+      return "EMM_DEREGISTERED_INITIATED";
+    case EmmState::kTauInitiated:
+      return "EMM_TRACKING_AREA_UPDATING_INITIATED";
+    case EmmState::kServiceRequestInitiated:
+      return "EMM_SERVICE_REQUEST_INITIATED";
+    case EmmState::kDeregisteredAttachNeeded:
+      return "EMM_DEREGISTERED_ATTACH_NEEDED";
+    case EmmState::kDeregisteredLimitedService:
+      return "EMM_DEREGISTERED_LIMITED_SERVICE";
+    case EmmState::kRegisteredNormalService:
+      return "EMM_REGISTERED_NORMAL_SERVICE";
+    case EmmState::kRegisteredAttemptingToUpdate:
+      return "EMM_REGISTERED_ATTEMPTING_TO_UPDATE";
+  }
+  return "EMM_NULL";
+}
+
+bool is_registered(EmmState s) {
+  return s == EmmState::kRegistered || s == EmmState::kRegisteredNormalService ||
+         s == EmmState::kRegisteredAttemptingToUpdate;
+}
+
+bool is_deregistered(EmmState s) {
+  return s == EmmState::kDeregistered || s == EmmState::kDeregisteredAttachNeeded ||
+         s == EmmState::kDeregisteredLimitedService;
+}
+
+std::optional<EmmState> emm_state_from_name(std::string_view name) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(EmmState::kRegisteredAttemptingToUpdate);
+       ++i) {
+    auto s = static_cast<EmmState>(i);
+    if (to_string(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace procheck::ue

@@ -1,0 +1,55 @@
+// UE-side EMM states (TS 24.301 §5.1.3), including the substates the paper
+// highlights in RQ2: ProChecker's automatic extraction surfaces substates
+// (e.g. EMM_DEREGISTERED_ATTACH_NEEDED) that manual models like
+// LTEInspector's collapse into their parent states. The to_string() names
+// are exactly the standard's state names — implementations use them
+// verbatim (paper §II-D), which is what lets the extractor's
+// state-signature matching work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace procheck::ue {
+
+enum class EmmState : std::uint8_t {
+  kNull,
+  kDeregistered,
+  kRegisteredInitiated,
+  kRegistered,
+  kDeregisteredInitiated,
+  kTauInitiated,
+  kServiceRequestInitiated,
+  // Substates (TS 24.301 §5.1.3.2.2 / §5.1.3.2.3).
+  kDeregisteredAttachNeeded,
+  kDeregisteredLimitedService,
+  kRegisteredNormalService,
+  kRegisteredAttemptingToUpdate,
+};
+
+std::string_view to_string(EmmState s);
+std::optional<EmmState> emm_state_from_name(std::string_view name);
+
+/// True for EMM_REGISTERED and its substates.
+bool is_registered(EmmState s);
+/// True for EMM_DEREGISTERED and its substates.
+bool is_deregistered(EmmState s);
+
+/// All standard state names, in declaration order — the `state_signatures`
+/// input of Algorithm 1.
+inline constexpr std::string_view kUeStateNames[] = {
+    "EMM_NULL",
+    "EMM_DEREGISTERED",
+    "EMM_REGISTERED_INITIATED",
+    "EMM_REGISTERED",
+    "EMM_DEREGISTERED_INITIATED",
+    "EMM_TRACKING_AREA_UPDATING_INITIATED",
+    "EMM_SERVICE_REQUEST_INITIATED",
+    "EMM_DEREGISTERED_ATTACH_NEEDED",
+    "EMM_DEREGISTERED_LIMITED_SERVICE",
+    "EMM_REGISTERED_NORMAL_SERVICE",
+    "EMM_REGISTERED_ATTEMPTING_TO_UPDATE",
+};
+
+}  // namespace procheck::ue

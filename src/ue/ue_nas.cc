@@ -1,0 +1,621 @@
+#include "ue/ue_nas.h"
+
+#include "nas/crypto.h"
+
+namespace procheck::ue {
+
+using nas::Direction;
+using nas::EmmCause;
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+using nas::SecHdr;
+
+UeNas::UeNas(StackProfile profile, std::uint64_t permanent_key, std::string imsi,
+             instrument::TraceLogger* trace)
+    : profile_(std::move(profile)),
+      trace_(trace),
+      imsi_(std::move(imsi)),
+      usim_(permanent_key,
+            nas::UsimConfig{profile_.sqn_freshness_limit, profile_.accept_equal_sqn}) {}
+
+// --- Trace helpers -----------------------------------------------------------
+
+void UeNas::trace_enter_raw(std::string_view function) {
+  if (trace_) trace_->enter(function);
+}
+
+void UeNas::trace_enter_recv(std::string_view standard_name) {
+  if (trace_) trace_->enter(profile_.recv_prefix + std::string(standard_name));
+  trace_globals();
+  if (trace_ && current_hdr_) {
+    trace_->local("sec_hdr", to_string(*current_hdr_));
+  }
+  if (trace_ && current_replay_accepted_) {
+    trace_->local("replay_accepted", 1);
+    current_replay_accepted_ = false;
+  }
+  if (trace_ && current_plain_after_ctx_) {
+    trace_->local("plain_accepted_after_ctx", 1);
+    current_plain_after_ctx_ = false;
+  }
+}
+
+void UeNas::trace_enter_send(std::string_view standard_name) {
+  if (trace_) trace_->enter(profile_.send_prefix + std::string(standard_name));
+}
+
+void UeNas::trace_globals() {
+  if (!trace_) return;
+  trace_->global("emm_state", to_string(emm_state_));
+  trace_->global("ue_sequence_number", last_dl_ ? *last_dl_ + 1 : 0);
+  trace_->global("sec_ctx_valid", sec_.valid ? 1 : 0);
+  trace_->global("guti", guti_);
+}
+
+void UeNas::trace_local(std::string_view name, std::uint64_t value) {
+  if (trace_) trace_->local(name, value);
+}
+
+void UeNas::trace_local(std::string_view name, std::string_view value) {
+  if (trace_) trace_->local(name, value);
+}
+
+void UeNas::set_state(EmmState next) {
+  emm_state_ = next;
+  // State variables are global; the instrumented build reports every write.
+  if (trace_) trace_->global("emm_state", to_string(emm_state_));
+}
+
+// --- Outgoing helper ---------------------------------------------------------
+
+nas::NasPdu UeNas::send_message(NasMessage msg, bool force_plain) {
+  trace_enter_send(standard_name(msg.type));
+  if (sec_.valid && !force_plain) {
+    // SMC completion is the first protected uplink message; everything after
+    // the context goes integrity-protected and ciphered.
+    return protect(msg, sec_, Direction::kUplink, SecHdr::kIntegrityCiphered);
+  }
+  return encode_plain(msg);
+}
+
+// --- Internal events ---------------------------------------------------------
+
+std::vector<NasPdu> UeNas::power_on_attach() {
+  trace_enter_recv("power_on_trigger");
+  NasMessage req(MsgType::kAttachRequest);
+  req.set_s("identity", guti_ != "none" ? guti_ : imsi_);
+  req.set_u("ue_network_capability", 0x7);
+
+  std::vector<NasPdu> out;
+  if (profile_.keep_ctx_after_reject && sec_.valid) {
+    // I4 path: srsUE re-registers with the retained security context,
+    // skipping authentication and security-mode control entirely.
+    set_state(EmmState::kRegisteredInitiated);
+    out.push_back(send_message(req));
+  } else {
+    sec_.clear();
+    last_dl_.reset();
+    set_state(EmmState::kRegisteredInitiated);
+    out.push_back(send_message(req, /*force_plain=*/true));
+  }
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::trigger_detach() {
+  trace_enter_recv("detach_trigger");
+  set_state(EmmState::kDeregisteredInitiated);
+  NasMessage req(MsgType::kDetachRequest);
+  req.set_s("detach_type", "ue_initiated");
+  std::vector<NasPdu> out{send_message(req)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::trigger_service_request() {
+  trace_enter_recv("service_request_trigger");
+  if (!is_registered(emm_state_)) {
+    trace_local("service_possible", 0);
+    trace_globals();
+    return {};
+  }
+  trace_local("service_possible", 1);
+  set_state(EmmState::kServiceRequestInitiated);
+  NasMessage req(MsgType::kServiceRequest);
+  req.set_s("identity", guti_);
+  std::vector<NasPdu> out{send_message(req)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::trigger_tau() {
+  trace_enter_recv("tau_trigger");
+  set_state(EmmState::kTauInitiated);
+  NasMessage req(MsgType::kTauRequest);
+  req.set_s("identity", guti_);
+  std::vector<NasPdu> out{send_message(req)};
+  trace_globals();
+  return out;
+}
+
+// --- Downlink routing --------------------------------------------------------
+
+bool UeNas::downlink_count_acceptable(std::uint32_t count, bool* is_replay) {
+  // Standards policy (TS 24.301 §4.4.3.2): accept strictly greater COUNTs.
+  // Arbitrary forward jumps are allowed — the under-specification P3
+  // exploits. Stale-COUNT acceptance below models I1/I3 deviations.
+  const bool fresh = !last_dl_ || count > *last_dl_;
+  *is_replay = !fresh;
+  if (fresh) {
+    last_dl_ = count;
+    return true;
+  }
+  if (profile_.accept_replayed_protected) {
+    if (profile_.reset_dl_counter_on_replay) last_dl_ = count;
+    ++replays_accepted_;
+    return true;
+  }
+  if (profile_.accept_last_replay && count == *last_dl_) {
+    ++replays_accepted_;
+    return true;
+  }
+  return false;
+}
+
+std::vector<NasPdu> UeNas::handle_downlink(const NasPdu& pdu) {
+  trace_enter_raw("air_msg_handler");
+  current_hdr_ = pdu.sec_hdr;
+  current_replay_accepted_ = false;
+  current_plain_after_ctx_ = false;
+  std::vector<NasPdu> out = handle_downlink_impl(pdu);
+  current_hdr_.reset();
+  current_replay_accepted_ = false;
+  current_plain_after_ctx_ = false;
+  return out;
+}
+
+std::vector<NasPdu> UeNas::handle_downlink_impl(const NasPdu& pdu) {
+  if (pdu.sec_hdr == SecHdr::kPlain) {
+    auto msg = nas::decode_payload(pdu.payload);
+    if (!msg) {
+      trace_enter_recv("undecodable_pdu");
+      trace_local("well_formed", 0);
+      return {};
+    }
+    return route_plain(*msg, pdu);
+  }
+
+  // Security-mode command is integrity-protected with the *new* context and
+  // must be verifiable before `sec_` is valid; route it on the visible
+  // (integrity-only, uncyphered) payload.
+  if (pdu.sec_hdr == SecHdr::kIntegrity) {
+    auto msg = nas::decode_payload(pdu.payload);
+    if (msg && msg->type == MsgType::kSecurityModeCommand) {
+      return recv_security_mode_command(pdu);
+    }
+  }
+
+  if (!sec_.valid) {
+    // Cannot verify or decrypt: the handler rejects the PDU.
+    ++protected_discards_;
+    trace_enter_recv("undecodable_pdu");
+    trace_local("drop_reason", "no_security_context");
+    return {};
+  }
+
+  nas::UnprotectResult res = unprotect(pdu, sec_, Direction::kDownlink);
+  if (res.status == nas::UnprotectResult::Status::kMacFailure) {
+    ++protected_discards_;
+    trace_enter_recv("undecodable_pdu");
+    trace_local("mac_valid", 0);
+    return {};
+  }
+  if (res.status == nas::UnprotectResult::Status::kMalformed) {
+    trace_enter_recv("undecodable_pdu");
+    trace_local("well_formed", 0);
+    return {};
+  }
+
+  bool is_replay = false;
+  if (!downlink_count_acceptable(pdu.count, &is_replay)) {
+    // Replay protection: the handler is entered, fails the COUNT check, and
+    // takes no action (an explicit reject self-loop in the extracted FSM).
+    trace_enter_recv(standard_name(res.msg.type));
+    trace_local("count_ok", 0);
+    trace_globals();
+    return {};
+  }
+  current_replay_accepted_ = is_replay;
+  return route_protected(res.msg, pdu);
+}
+
+std::vector<NasPdu> UeNas::route_plain(const NasMessage& msg, const NasPdu& pdu) {
+  // TS 24.301 §4.4.4.2: only a fixed set of messages may be processed
+  // without integrity protection.
+  switch (msg.type) {
+    case MsgType::kAuthenticationRequest:
+      return recv_authentication_request(msg);
+    case MsgType::kAuthenticationReject:
+      return recv_authentication_reject(msg);
+    case MsgType::kIdentityRequest:
+      return recv_identity_request(msg, /*was_plain=*/true);
+    case MsgType::kAttachReject:
+      return recv_attach_reject(msg);
+    case MsgType::kDetachAccept:
+      return recv_detach_accept(msg);
+    case MsgType::kDetachRequest:
+      // Deployed stacks process network-initiated detach even without
+      // integrity protection — the standards gap behind the prior
+      // detach/downgrade attacks (LTEInspector, NDSS'18).
+      return recv_detach_request(msg);
+    case MsgType::kServiceReject:
+      return recv_service_reject(msg);
+    case MsgType::kTauReject:
+      return recv_tau_reject(msg);
+    case MsgType::kPaging:
+      return recv_paging(msg);
+    default:
+      break;
+  }
+  if (sec_.valid && profile_.accept_plain_after_smc) {
+    // I2 (OAI): plain-NAS (0x0) messages processed after the security
+    // context is established — integrity and confidentiality broken. The
+    // atom is surfaced by the handler's own entrance (right log block).
+    ++plain_after_ctx_;
+    current_plain_after_ctx_ = true;
+    return route_protected(msg, pdu);
+  }
+  // Conformant: an explicit handler-level reject of the plain downgrade.
+  trace_enter_recv(standard_name(msg.type));
+  trace_local("plain_allowed", 0);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::route_protected(const NasMessage& msg, const NasPdu& pdu) {
+  switch (msg.type) {
+    case MsgType::kAttachAccept:
+      return recv_attach_accept(msg);
+    case MsgType::kAttachReject:
+      return recv_attach_reject(msg);
+    case MsgType::kAuthenticationRequest:
+      return recv_authentication_request(msg);
+    case MsgType::kSecurityModeCommand:
+      return recv_security_mode_command(pdu);
+    case MsgType::kIdentityRequest:
+      return recv_identity_request(msg, /*was_plain=*/false);
+    case MsgType::kGutiReallocationCommand:
+      return recv_guti_reallocation_command(msg);
+    case MsgType::kDetachRequest:
+      return recv_detach_request(msg);
+    case MsgType::kDetachAccept:
+      return recv_detach_accept(msg);
+    case MsgType::kTauAccept:
+      return recv_tau_accept(msg);
+    case MsgType::kTauReject:
+      return recv_tau_reject(msg);
+    case MsgType::kServiceReject:
+      return recv_service_reject(msg);
+    case MsgType::kPaging:
+      return recv_paging(msg);
+    case MsgType::kConfigurationUpdateCommand:
+      return recv_configuration_update_command(msg);
+    case MsgType::kEmmInformation:
+      return recv_emm_information(msg);
+    default:
+      trace_local("unexpected_message", 1);
+      return {};
+  }
+}
+
+// --- Incoming-message handlers -----------------------------------------------
+
+std::vector<NasPdu> UeNas::recv_authentication_request(const NasMessage& msg) {
+  trace_enter_recv("authentication_request");
+  const Bytes rand = msg.get_b("rand");
+  const Bytes autn = msg.get_b("autn");
+
+  nas::Usim::Outcome outcome = usim_.authenticate(rand, autn);
+  trace_local("mac_valid", outcome.result == nas::Usim::Result::kMacFailure ? 0 : 1);
+  trace_local("sqn_ok", outcome.result == nas::Usim::Result::kOk ? 1 : 0);
+  if (outcome.equal_seq_accepted) {
+    // I3: the USIM accepted the same SQN again — the session counter resets.
+    trace_local("counter_reset", 1);
+  }
+
+  std::vector<NasPdu> out;
+  switch (outcome.result) {
+    case nas::Usim::Result::kOk: {
+      ++auth_runs_;
+      // Fresh session keys supersede the current context; they are taken
+      // into use at the next security-mode control run. If a context was
+      // already active this *desynchronizes* keys with the legitimate MME —
+      // the P1 effect.
+      pending_kasme_ = outcome.kasme;
+      if (sec_.valid) {
+        sec_.clear();
+        last_dl_.reset();
+        trace_local("key_desync", 1);
+      }
+      NasMessage resp(MsgType::kAuthenticationResponse);
+      resp.set_u("res", outcome.res);
+      out.push_back(send_message(resp, /*force_plain=*/true));
+      break;
+    }
+    case nas::Usim::Result::kMacFailure: {
+      trace_local("failure_cause", "mac_failure");
+      NasMessage fail(MsgType::kAuthenticationFailure);
+      fail.set_s("cause", std::string(to_string(EmmCause::kMacFailure)));
+      out.push_back(send_message(fail, /*force_plain=*/true));
+      break;
+    }
+    case nas::Usim::Result::kSyncFailure: {
+      trace_local("failure_cause", "synch_failure");
+      NasMessage fail(MsgType::kAuthenticationFailure);
+      fail.set_s("cause", std::string(to_string(EmmCause::kSynchFailure)));
+      fail.set_b("auts", outcome.auts);
+      out.push_back(send_message(fail, /*force_plain=*/true));
+      break;
+    }
+  }
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_security_mode_command(const NasPdu& pdu) {
+  trace_enter_recv("security_mode_command");
+  trace_local("ue_sequence_number", pdu.count);
+
+  auto msg = nas::decode_payload(pdu.payload);
+  if (!msg) {
+    trace_local("well_formed", 0);
+    return {};
+  }
+  const auto eia = static_cast<std::uint8_t>(msg->get_u("eia", 1));
+  const auto eea = static_cast<std::uint8_t>(msg->get_u("eea", 1));
+
+  // Verify against the pending AKA keys (initial SMC) or the current
+  // context's root key (re-run / replayed SMC).
+  std::vector<NasPdu> out;
+  auto verify_with = [&](std::uint64_t kasme) {
+    std::uint64_t k_int = nas::derive_k_nas_int(kasme, eia);
+    return nas::nas_mac(k_int, pdu.count, Direction::kDownlink, pdu.payload) == pdu.mac;
+  };
+
+  if (pending_kasme_ && verify_with(*pending_kasme_)) {
+    trace_local("mac_valid", 1);
+    trace_local("caps_match", 1);
+    sec_.establish(*pending_kasme_, eia, eea);
+    pending_kasme_.reset();
+    last_dl_ = pdu.count;
+    NasMessage resp(MsgType::kSecurityModeComplete);
+    out.push_back(send_message(resp));
+    trace_globals();
+    return out;
+  }
+
+  if (sec_.valid && verify_with(sec_.kasme)) {
+    // A replayed SMC from the current session. The victim's response is
+    // distinguishable from a non-victim's MAC failure — I6 linkability.
+    trace_local("mac_valid", 1);
+    trace_local("smc_replay", 1);
+    if (profile_.smc_replay_distinguishable) {
+      ++replays_accepted_;
+      NasMessage resp(MsgType::kSecurityModeComplete);
+      out.push_back(send_message(resp));
+      trace_globals();
+      return out;
+    }
+    trace_globals();
+    return out;
+  }
+
+  trace_local("mac_valid", 0);
+  NasMessage reject(MsgType::kSecurityModeReject);
+  reject.set_s("cause", std::string(to_string(EmmCause::kMacFailure)));
+  out.push_back(send_message(reject, /*force_plain=*/true));
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_attach_accept(const NasMessage& msg) {
+  trace_enter_recv("attach_accept");
+  if (emm_state_ != EmmState::kRegisteredInitiated) {
+    trace_local("state_ok", 0);
+    trace_globals();
+    return {};
+  }
+  trace_local("mac_valid", 1);
+  if (msg.has("guti")) {
+    guti_ = msg.get_s("guti");
+    trace_local("guti_assigned", 1);
+  }
+  set_state(EmmState::kRegistered);
+  NasMessage resp(MsgType::kAttachComplete);
+  if (msg.has("esm_bearer_id")) {
+    // ESM piggyback: accept the default bearer activation in the complete.
+    esm_bearer_id_ = msg.get_u("esm_bearer_id");
+    trace_local("esm_bearer_activated", 1);
+    resp.set_u("esm_bearer_id", esm_bearer_id_);
+  }
+  std::vector<NasPdu> out{send_message(resp)};
+  set_state(EmmState::kRegisteredNormalService);
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_attach_reject(const NasMessage& msg) {
+  trace_enter_recv("attach_reject");
+  trace_local("cause", msg.get_s("cause", "not_authorized"));
+  if (profile_.keep_ctx_after_reject) {
+    // I4: the context (and USIM state) survive the reject; the next attach
+    // will skip authentication and security-mode control entirely.
+    trace_local("ctx_deleted", 0);
+  } else {
+    sec_.clear();
+    pending_kasme_.reset();
+    last_dl_.reset();
+    guti_ = "none";
+    trace_local("ctx_deleted", 1);
+  }
+  set_state(EmmState::kDeregistered);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::recv_identity_request(const NasMessage& msg, bool was_plain) {
+  trace_enter_recv("identity_request");
+  const std::string id_type = msg.get_s("id_type", "imsi");
+  trace_local("id_type", id_type);
+
+  std::vector<NasPdu> out;
+  if (!sec_.valid) {
+    // Identification during initial attach: plain IMSI response is the
+    // specified behavior.
+    NasMessage resp(MsgType::kIdentityResponse);
+    resp.set_s("identity", id_type == "imsi" ? imsi_ : guti_);
+    out.push_back(send_message(resp, /*force_plain=*/true));
+    trace_globals();
+    return out;
+  }
+  if (was_plain && !profile_.plain_identity_response) {
+    // Conformant: a plain identity_request after the security context is a
+    // downgrade attempt — ignore.
+    trace_local("plain_downgrade_refused", 1);
+    trace_globals();
+    return {};
+  }
+  // I5 (OAI) when was_plain: IMSI leaks to an unauthenticated requester.
+  NasMessage resp(MsgType::kIdentityResponse);
+  resp.set_s("identity", id_type == "imsi" ? imsi_ : guti_);
+  out.push_back(send_message(resp, /*force_plain=*/was_plain));
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_guti_reallocation_command(const NasMessage& msg) {
+  trace_enter_recv("guti_reallocation_command");
+  guti_ = msg.get_s("guti", guti_);
+  trace_local("guti_updated", 1);
+  NasMessage resp(MsgType::kGutiReallocationComplete);
+  std::vector<NasPdu> out{send_message(resp)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_detach_request(const NasMessage& msg) {
+  trace_enter_recv("detach_request");
+  const bool reattach = msg.get_s("detach_type", "reattach_required") == "reattach_required";
+  trace_local("reattach_required", reattach ? 1 : 0);
+  // Network-initiated detach goes through the attach-needed substate — the
+  // intermediate state the paper's Fig. 7(ii) refinement example shows.
+  set_state(reattach ? EmmState::kDeregisteredAttachNeeded : EmmState::kDeregisteredLimitedService);
+  NasMessage resp(MsgType::kDetachAccept);
+  std::vector<NasPdu> out{send_message(resp)};
+  sec_.clear();
+  pending_kasme_.reset();
+  last_dl_.reset();
+  set_state(EmmState::kDeregistered);
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_detach_accept(const NasMessage&) {
+  trace_enter_recv("detach_accept");
+  if (emm_state_ != EmmState::kDeregisteredInitiated) {
+    trace_local("state_ok", 0);
+    trace_globals();
+    return {};
+  }
+  sec_.clear();
+  pending_kasme_.reset();
+  last_dl_.reset();
+  set_state(EmmState::kDeregistered);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::recv_tau_accept(const NasMessage& msg) {
+  trace_enter_recv("tracking_area_update_accept");
+  if (emm_state_ != EmmState::kTauInitiated) {
+    trace_local("state_ok", 0);
+    trace_globals();
+    return {};
+  }
+  if (msg.has("guti")) guti_ = msg.get_s("guti");
+  set_state(EmmState::kRegistered);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::recv_tau_reject(const NasMessage& msg) {
+  trace_enter_recv("tracking_area_update_reject");
+  trace_local("cause", msg.get_s("cause", "congestion"));
+  set_state(EmmState::kRegisteredAttemptingToUpdate);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::recv_service_reject(const NasMessage& msg) {
+  trace_enter_recv("service_reject");
+  trace_local("cause", msg.get_s("cause", "not_authorized"));
+  sec_.clear();
+  pending_kasme_.reset();
+  last_dl_.reset();
+  set_state(EmmState::kDeregistered);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::recv_paging(const NasMessage& msg) {
+  trace_enter_recv("paging");
+  const std::string paged_id = msg.get_s("identity");
+  const bool match = paged_id == guti_ || paged_id == imsi_;
+  trace_local("identity_match", match ? 1 : 0);
+  if (match) {
+    trace_local("paged_by", paged_id == imsi_ ? "imsi" : "guti");
+  }
+  if (!match || !is_registered(emm_state_)) {
+    trace_globals();
+    return {};
+  }
+  set_state(EmmState::kServiceRequestInitiated);
+  NasMessage req(MsgType::kServiceRequest);
+  req.set_s("identity", guti_);
+  std::vector<NasPdu> out{send_message(req)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_authentication_reject(const NasMessage&) {
+  trace_enter_recv("authentication_reject");
+  sec_.clear();
+  pending_kasme_.reset();
+  last_dl_.reset();
+  guti_ = "none";
+  set_state(EmmState::kDeregistered);
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::recv_configuration_update_command(const NasMessage& msg) {
+  trace_enter_recv("configuration_update_command");
+  if (msg.has("guti")) guti_ = msg.get_s("guti");
+  NasMessage resp(MsgType::kConfigurationUpdateComplete);
+  std::vector<NasPdu> out{send_message(resp)};
+  trace_globals();
+  return out;
+}
+
+std::vector<NasPdu> UeNas::recv_emm_information(const NasMessage&) {
+  trace_enter_recv("emm_information");
+  if (emm_state_ == EmmState::kServiceRequestInitiated) {
+    // Service confirmation (stands in for bearer establishment).
+    set_state(EmmState::kRegistered);
+  }
+  trace_globals();
+  return {};
+}
+
+}  // namespace procheck::ue

@@ -1,0 +1,133 @@
+// UE-side NAS (EMM) protocol implementation.
+//
+// This is the system under test: a complete NAS-layer state machine for the
+// procedures of the paper's Fig. 1 (attach, authentication, security mode
+// control, GUTI reallocation, identity, TAU, detach, paging/service
+// request), written in the shape the paper's §II-D properties describe —
+// an event-driven architecture with one `recv_*` handler per incoming
+// message that performs well-formedness and cryptographic checks and then
+// hands control to a `send_*` handler for the responsive action.
+//
+// The stack is "pre-instrumented": every handler reports its entrance, the
+// global state variables at entry/exit, and its condition locals to a
+// TraceLogger, producing exactly the information-rich log of Fig. 3(d) that
+// the model extractor consumes. Behavior deviations are selected by a
+// StackProfile (see profile.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instrument/trace_log.h"
+#include "nas/messages.h"
+#include "nas/security_context.h"
+#include "nas/sqn.h"
+#include "ue/emm_state.h"
+#include "ue/profile.h"
+
+namespace procheck::ue {
+
+class UeNas {
+ public:
+  /// `trace` may be null (uninstrumented build); it is not owned.
+  UeNas(StackProfile profile, std::uint64_t permanent_key, std::string imsi,
+        instrument::TraceLogger* trace = nullptr);
+
+  // --- Internal events (triggered by the conformance runner / upper layers).
+  // Each returns the uplink PDUs emitted in response.
+  std::vector<nas::NasPdu> power_on_attach();
+  std::vector<nas::NasPdu> trigger_detach();
+  std::vector<nas::NasPdu> trigger_service_request();
+  std::vector<nas::NasPdu> trigger_tau();
+
+  /// Downlink entry point — the paper's `air_msg_handler`: unpack, route to
+  /// the incoming-message handler, return any responsive uplink PDUs.
+  std::vector<nas::NasPdu> handle_downlink(const nas::NasPdu& pdu);
+
+  // --- Observability (testbed assertions and ground-truth tests).
+  EmmState state() const { return emm_state_; }
+  const nas::SecurityContext& security() const { return sec_; }
+  const std::string& guti() const { return guti_; }
+  const std::string& imsi() const { return imsi_; }
+  const StackProfile& profile() const { return profile_; }
+  nas::Usim& usim() { return usim_; }
+
+  /// Number of successful AKA runs (P1's battery-depletion marker).
+  int authentications_completed() const { return auth_runs_; }
+  /// Stale-COUNT protected messages that were nevertheless processed (I1/I3).
+  int replays_accepted() const { return replays_accepted_; }
+  /// Plain messages processed after the security context was valid (I2).
+  int plain_accepted_after_ctx() const { return plain_after_ctx_; }
+  /// Protected downlink messages discarded due to failed integrity — the
+  /// P1 key-desynchronization marker (UE discarding the legitimate MME).
+  int protected_discards() const { return protected_discards_; }
+  std::optional<std::uint32_t> last_accepted_dl_count() const { return last_dl_; }
+  /// Default EPS bearer id activated via the ESM piggyback (0 = none).
+  std::uint64_t esm_bearer_id() const { return esm_bearer_id_; }
+
+ private:
+  // Routing and policy.
+  std::vector<nas::NasPdu> handle_downlink_impl(const nas::NasPdu& pdu);
+  std::vector<nas::NasPdu> route_plain(const nas::NasMessage& msg, const nas::NasPdu& pdu);
+  std::vector<nas::NasPdu> route_protected(const nas::NasMessage& msg, const nas::NasPdu& pdu);
+  bool downlink_count_acceptable(std::uint32_t count, bool* is_replay);
+
+  // Incoming-message handlers (one per message type, named per profile in
+  // the trace). Each returns the responsive PDUs.
+  std::vector<nas::NasPdu> recv_authentication_request(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_security_mode_command(const nas::NasPdu& pdu);
+  std::vector<nas::NasPdu> recv_attach_accept(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_attach_reject(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_identity_request(const nas::NasMessage& msg, bool was_plain);
+  std::vector<nas::NasPdu> recv_guti_reallocation_command(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_detach_request(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_detach_accept(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_tau_accept(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_tau_reject(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_service_reject(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_paging(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_authentication_reject(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_configuration_update_command(const nas::NasMessage& msg);
+  std::vector<nas::NasPdu> recv_emm_information(const nas::NasMessage& msg);
+
+  // Outgoing-message helper: logs the send_* handler entrance and protects
+  // the message with the current context (or sends plain pre-context).
+  nas::NasPdu send_message(nas::NasMessage msg, bool force_plain = false);
+
+  // Trace helpers.
+  void trace_enter_recv(std::string_view standard_name);
+  void trace_enter_send(std::string_view standard_name);
+  void trace_enter_raw(std::string_view function);
+  void trace_globals();
+  void trace_local(std::string_view name, std::uint64_t value);
+  void trace_local(std::string_view name, std::string_view value);
+  void set_state(EmmState next);
+
+  StackProfile profile_;
+  instrument::TraceLogger* trace_;
+
+  // Per-delivery context surfaced as condition locals by trace_enter_recv
+  // (they must appear *after* the handler entrance so the extractor's block
+  // division attributes them to the right transition).
+  std::optional<nas::SecHdr> current_hdr_;
+  bool current_replay_accepted_ = false;
+  bool current_plain_after_ctx_ = false;
+
+  std::string imsi_;
+  std::string guti_ = "none";
+  nas::Usim usim_;
+  nas::SecurityContext sec_;
+  std::optional<std::uint64_t> pending_kasme_;  // from AKA, awaiting SMC
+  std::optional<std::uint32_t> last_dl_;        // last accepted downlink NAS COUNT
+  EmmState emm_state_ = EmmState::kDeregistered;
+
+  int auth_runs_ = 0;
+  int replays_accepted_ = 0;
+  int plain_after_ctx_ = 0;
+  int protected_discards_ = 0;
+  std::uint64_t esm_bearer_id_ = 0;
+};
+
+}  // namespace procheck::ue

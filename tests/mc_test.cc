@@ -1,0 +1,375 @@
+// Model-checker kernel tests: expression evaluation, guarded-command
+// successors, invariant checking with trace extraction, edge never-claims,
+// and response liveness (lasso detection, stutter-deadlock semantics).
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "mc/checker.h"
+#include "mc/model.h"
+
+namespace procheck::mc {
+namespace {
+
+// A 3-position token ring: pos cycles 0 -> 1 -> 2 -> 0.
+Model ring_model() {
+  Model m;
+  int pos = m.add_var("pos", 3, 0, {"p0", "p1", "p2"});
+  for (std::int32_t i = 0; i < 3; ++i) {
+    Command cmd;
+    cmd.label = "step" + std::to_string(i);
+    cmd.guard = Expr::eq(pos, i);
+    cmd.updates = {{pos, (i + 1) % 3}};
+    m.add_command(std::move(cmd));
+  }
+  return m;
+}
+
+// A counter that can only grow to its bound and then deadlocks.
+Model counter_model(std::int32_t bound) {
+  Model m;
+  int c = m.add_var("c", bound + 1, 0);
+  for (std::int32_t i = 0; i < bound; ++i) {
+    Command cmd;
+    cmd.label = "inc" + std::to_string(i);
+    cmd.guard = Expr::eq(c, i);
+    cmd.updates = {{c, i + 1}};
+    m.add_command(std::move(cmd));
+  }
+  return m;
+}
+
+// --- Expr ---------------------------------------------------------------------
+
+TEST(Expr, Atoms) {
+  State s{2, 5};
+  EXPECT_TRUE(Expr::eq(0, 2).eval(s));
+  EXPECT_FALSE(Expr::eq(0, 3).eval(s));
+  EXPECT_TRUE(Expr::ne(1, 4).eval(s));
+  EXPECT_TRUE(Expr::lt(0, 3).eval(s));
+  EXPECT_FALSE(Expr::lt(0, 2).eval(s));
+  EXPECT_TRUE(Expr::gt(1, 4).eval(s));
+  EXPECT_TRUE(Expr::constant(true).eval(s));
+  EXPECT_FALSE(Expr::constant(false).eval(s));
+}
+
+TEST(Expr, Connectives) {
+  State s{1};
+  Expr yes = Expr::eq(0, 1);
+  Expr no = Expr::eq(0, 0);
+  EXPECT_TRUE(Expr::land(yes, yes).eval(s));
+  EXPECT_FALSE(Expr::land(yes, no).eval(s));
+  EXPECT_TRUE(Expr::lor(no, yes).eval(s));
+  EXPECT_FALSE(Expr::lor(no, no).eval(s));
+  EXPECT_TRUE(Expr::lnot(no).eval(s));
+  EXPECT_TRUE(Expr::all({yes, yes, yes}).eval(s));
+  EXPECT_FALSE(Expr::all({yes, no}).eval(s));
+  EXPECT_TRUE(Expr::any({no, yes}).eval(s));
+  EXPECT_TRUE(Expr::all({}).eval(s));   // empty conjunction
+  EXPECT_FALSE(Expr::any({}).eval(s));  // empty disjunction
+}
+
+// --- Model --------------------------------------------------------------------
+
+TEST(Model, VariablesAndValueNames) {
+  Model m = ring_model();
+  EXPECT_EQ(m.var("pos"), 0);
+  EXPECT_EQ(m.var("missing"), -1);
+  EXPECT_EQ(m.domain(0), 3);
+  EXPECT_EQ(m.value_name(0, 1), "p1");
+  EXPECT_EQ(m.value_index(0, "p2"), 2);
+  EXPECT_EQ(m.value_index(0, "p9"), -1);
+  EXPECT_EQ(m.var_count(), 1u);
+}
+
+TEST(Model, SuccessorsRespectGuards) {
+  Model m = ring_model();
+  int count = 0;
+  m.successors(m.initial(), [&](const State& next, const Command& cmd) {
+    ++count;
+    EXPECT_EQ(next[0], 1);
+    EXPECT_EQ(cmd.label, "step0");
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Model, CopyAssignReadsPreState) {
+  Model m;
+  int a = m.add_var("a", 4, 2);
+  int b = m.add_var("b", 4, 0);
+  Command cmd;
+  cmd.label = "swapish";
+  cmd.guard = Expr::constant(true);
+  // b := a (pre), a := 0 — order must not matter for the copy source.
+  cmd.updates = {{b, 0, a}, {a, 0}};
+  m.add_command(std::move(cmd));
+  bool saw = false;
+  m.successors(m.initial(), [&](const State& next, const Command&) {
+    saw = true;
+    EXPECT_EQ(next[1], 2);  // copied the pre-state value
+    EXPECT_EQ(next[0], 0);
+  });
+  EXPECT_TRUE(saw);
+}
+
+TEST(Model, LaterAssignmentWins) {
+  Model m;
+  int a = m.add_var("a", 4, 0);
+  Command cmd;
+  cmd.guard = Expr::constant(true);
+  cmd.updates = {{a, 1}, {a, 3}};
+  m.add_command(std::move(cmd));
+  m.successors(m.initial(), [&](const State& next, const Command&) { EXPECT_EQ(next[0], 3); });
+}
+
+TEST(Model, RenderAndSmvDump) {
+  Model m = ring_model();
+  EXPECT_EQ(m.render_state(m.initial()), "pos=p0");
+  std::string smv = m.to_smv();
+  EXPECT_TRUE(contains(smv, "MODULE main"));
+  EXPECT_TRUE(contains(smv, "pos : {p0, p1, p2}"));
+  EXPECT_TRUE(contains(smv, "step0"));
+}
+
+// --- Invariants -----------------------------------------------------------------
+
+TEST(Invariant, HoldsOnRing) {
+  Model m = ring_model();
+  Checker checker(m);
+  CheckStats stats;
+  // pos < 3 always.
+  auto cex = checker.check_invariant(Expr::lt(0, 3), &stats);
+  EXPECT_FALSE(cex.has_value());
+  EXPECT_EQ(stats.states_explored, 3u);
+  EXPECT_FALSE(stats.bound_hit);
+}
+
+TEST(Invariant, ViolationWithMinimalTrace) {
+  Model m = counter_model(5);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_invariant(Expr::lt(0, 3), &stats);  // violated at c = 3
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(cex->steps.size(), 3u);  // BFS finds the shortest path
+  EXPECT_EQ(cex->steps.back().post[0], 3);
+  EXPECT_EQ(cex->loop_start, -1);
+}
+
+TEST(Invariant, InitialStateViolation) {
+  Model m = counter_model(2);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_invariant(Expr::gt(0, 0), &stats);  // c > 0 fails at init
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_TRUE(cex->steps.empty());
+}
+
+TEST(Invariant, MaxStatesBoundsExploration) {
+  Model m = counter_model(100);
+  Checker checker(m);
+  CheckStats stats;
+  CheckOptions options;
+  options.max_states = 10;
+  auto cex = checker.check_invariant(Expr::lt(0, 50), &stats, options);
+  EXPECT_FALSE(cex.has_value());  // bound hit before the violation
+  EXPECT_TRUE(stats.bound_hit);
+}
+
+TEST(Invariant, TraceRenders) {
+  Model m = counter_model(5);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_invariant(Expr::lt(0, 2), &stats);
+  ASSERT_TRUE(cex.has_value());
+  std::string text = cex->render(m);
+  EXPECT_TRUE(contains(text, "inc0"));
+  EXPECT_TRUE(contains(text, "c="));
+}
+
+// --- Edge never-claims -------------------------------------------------------------
+
+TEST(EdgeNever, FindsLabelledEdge) {
+  Model m = counter_model(5);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_edge_never(
+      [](const State&, const Command& cmd, const State&) { return cmd.label == "inc3"; },
+      &stats);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(cex->steps.size(), 4u);
+  EXPECT_EQ(cex->steps.back().label, "inc3");
+}
+
+TEST(EdgeNever, VerifiedWhenEdgeAbsent) {
+  Model m = counter_model(5);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_edge_never(
+      [](const State&, const Command& cmd, const State&) { return cmd.label == "nope"; },
+      &stats);
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(EdgeNever, AllowedFilterPrunes) {
+  // CEGAR refinement semantics: banning the offending command verifies the
+  // property.
+  Model m = counter_model(5);
+  Checker checker(m);
+  CheckStats stats;
+  CheckOptions options;
+  options.allowed = [](const State&, const Command& cmd, const State&) {
+    return cmd.label != "inc2";  // cuts the path at c = 2
+  };
+  auto cex = checker.check_edge_never(
+      [](const State&, const Command& cmd, const State&) { return cmd.label == "inc3"; },
+      &stats, options);
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(EdgeNever, MetaIsCarriedIntoTrace) {
+  Model m;
+  int v = m.add_var("v", 2, 0);
+  Command cmd;
+  cmd.label = "adv";
+  cmd.guard = Expr::eq(v, 0);
+  cmd.updates = {{v, 1}};
+  cmd.meta.actor = CommandMeta::Actor::kAdversary;
+  cmd.meta.kind = CommandMeta::Kind::kInject;
+  cmd.meta.message = "attach_reject";
+  m.add_command(std::move(cmd));
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_edge_never(
+      [](const State&, const Command& c, const State&) {
+        return c.meta.message == "attach_reject";
+      },
+      &stats);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(cex->adversary_steps().size(), 1u);
+  EXPECT_EQ(cex->adversary_steps()[0]->meta.kind, CommandMeta::Kind::kInject);
+}
+
+// --- Response liveness ----------------------------------------------------------------
+
+// request/response model: req command raises `pending`; resp clears it; a
+// `lazy` self-loop lets the system stall forever when enabled.
+Model request_model(bool with_lazy_loop) {
+  Model m;
+  int st = m.add_var("st", 2, 0, {"idle", "waiting"});
+  Command req;
+  req.label = "request";
+  req.guard = Expr::eq(st, 0);
+  req.updates = {{st, 1}};
+  m.add_command(std::move(req));
+  Command resp;
+  resp.label = "respond";
+  resp.guard = Expr::eq(st, 1);
+  resp.updates = {{st, 0}};
+  m.add_command(std::move(resp));
+  if (with_lazy_loop) {
+    Command lazy;
+    lazy.label = "lazy";
+    lazy.guard = Expr::eq(st, 1);
+    lazy.updates = {};
+    m.add_command(std::move(lazy));
+  }
+  return m;
+}
+
+EdgePred label_is(std::string name) {
+  return [name](const State&, const Command& cmd, const State&) { return cmd.label == name; };
+}
+
+TEST(Response, ViolatedByStallingLoop) {
+  Model m = request_model(/*with_lazy_loop=*/true);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_response(label_is("request"), label_is("respond"), &stats);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_GE(cex->loop_start, 0);
+  // The loop must not contain the response.
+  for (std::size_t i = static_cast<std::size_t>(cex->loop_start); i < cex->steps.size(); ++i) {
+    EXPECT_NE(cex->steps[i].label, "respond");
+  }
+}
+
+TEST(Response, HoldsWithoutStallingLoop) {
+  // Note G(req -> F resp) holds here because the only infinite behavior
+  // alternates request/respond.
+  Model m = request_model(/*with_lazy_loop=*/false);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_response(label_is("request"), label_is("respond"), &stats);
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(Response, DeadlockWithPendingObligationIsViolation) {
+  // After `request` the system deadlocks: the stutter extension makes the
+  // unanswered trigger a violation.
+  Model m;
+  int st = m.add_var("st", 2, 0);
+  Command req;
+  req.label = "request";
+  req.guard = Expr::eq(st, 0);
+  req.updates = {{st, 1}};
+  m.add_command(std::move(req));  // no command enabled at st = 1
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_response(label_is("request"), label_is("respond"), &stats);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_GE(cex->loop_start, 0);
+  EXPECT_EQ(cex->steps.back().label, "(stutter)");
+}
+
+TEST(Response, NoTriggerNoViolation) {
+  Model m = request_model(/*with_lazy_loop=*/true);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_response(label_is("never_fires"), label_is("respond"), &stats);
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(Response, TriggerAndResponseOnSameEdgeIsSatisfied) {
+  Model m = request_model(/*with_lazy_loop=*/true);
+  Checker checker(m);
+  CheckStats stats;
+  // An edge that is both trigger and response discharges itself.
+  auto cex = checker.check_response(label_is("request"), label_is("request"), &stats);
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(Response, AllowedFilterAppliesToLiveness) {
+  Model m = request_model(/*with_lazy_loop=*/true);
+  Checker checker(m);
+  CheckStats stats;
+  CheckOptions options;
+  options.allowed = [](const State&, const Command& cmd, const State&) {
+    return cmd.label != "lazy";
+  };
+  auto cex = checker.check_response(label_is("request"), label_is("respond"), &stats, options);
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(Trace, DotExportHighlightsAdversaryAndLoop) {
+  Model m = request_model(/*with_lazy_loop=*/true);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_response(label_is("request"), label_is("respond"), &stats);
+  ASSERT_TRUE(cex.has_value());
+  std::string dot = cex->to_dot(m);
+  EXPECT_TRUE(contains(dot, "digraph counterexample"));
+  EXPECT_TRUE(contains(dot, "request"));
+  EXPECT_TRUE(contains(dot, "style=dashed"));  // the lasso loop edge
+}
+
+TEST(Response, LassoRenderMarksLoop) {
+  Model m = request_model(/*with_lazy_loop=*/true);
+  Checker checker(m);
+  CheckStats stats;
+  auto cex = checker.check_response(label_is("request"), label_is("respond"), &stats);
+  ASSERT_TRUE(cex.has_value());
+  std::string text = cex->render(m);
+  EXPECT_TRUE(contains(text, "loop"));
+}
+
+}  // namespace
+}  // namespace procheck::mc

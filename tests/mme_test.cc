@@ -1,0 +1,287 @@
+// MME NAS stack tests: authentication-vector generation, resynchronization,
+// the T3450-style bounded-retransmission discipline (P3's attack surface),
+// and uplink protection policy.
+#include <gtest/gtest.h>
+
+#include "mme/mme_nas.h"
+#include "nas/crypto.h"
+#include "testing/conformance.h"
+#include "testing/testbed.h"
+#include "ue/emm_state.h"
+
+namespace procheck::mme {
+namespace {
+
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+using testing::Testbed;
+
+struct Rig {
+  Testbed tb;
+  int conn;
+  Rig() : conn(tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey)) {}
+  MmeNas& mme() { return tb.mme(); }
+  bool attach() { return testing::complete_attach(tb, conn); }
+};
+
+TEST(MmeStates, Names) {
+  EXPECT_EQ(to_string(MmeState::kDeregistered), "MME_DEREGISTERED");
+  EXPECT_EQ(to_string(MmeState::kRegistered), "MME_REGISTERED");
+  EXPECT_EQ(to_string(MmeState::kCommonProcedureInitiated),
+            "MME_COMMON_PROCEDURE_INITIATED");
+}
+
+TEST(MmeAttach, RespondsToAttachWithChallenge) {
+  Rig rig;
+  NasMessage req(MsgType::kAttachRequest);
+  req.set_s("identity", testing::kTestImsi);
+  auto out = rig.mme().handle_uplink(rig.conn, nas::encode_plain(req));
+  ASSERT_EQ(out.size(), 1u);
+  auto msg = nas::decode_payload(out[0].pdu.payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kAuthenticationRequest);
+  EXPECT_FALSE(msg->get_b("rand").empty());
+  EXPECT_FALSE(msg->get_b("autn").empty());
+  EXPECT_EQ(rig.mme().state(rig.conn), MmeState::kCommonProcedureInitiated);
+}
+
+TEST(MmeAttach, UnknownIdentityTriggersIdentification) {
+  Rig rig;
+  NasMessage req(MsgType::kAttachRequest);
+  req.set_s("identity", "guti-stale");
+  auto out = rig.mme().handle_uplink(rig.conn, nas::encode_plain(req));
+  ASSERT_EQ(out.size(), 1u);
+  auto msg = nas::decode_payload(out[0].pdu.payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kIdentityRequest);
+}
+
+TEST(MmeAttach, UnknownImsiAfterIdentificationIsRejected) {
+  Rig rig;
+  NasMessage attach(MsgType::kAttachRequest);
+  attach.set_s("identity", "guti-stale");
+  rig.mme().handle_uplink(rig.conn, nas::encode_plain(attach));
+  NasMessage id(MsgType::kIdentityResponse);
+  id.set_s("identity", "999999999999999");
+  auto out = rig.mme().handle_uplink(rig.conn, nas::encode_plain(id));
+  ASSERT_EQ(out.size(), 1u);
+  auto msg = nas::decode_payload(out[0].pdu.payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kAttachReject);
+  EXPECT_EQ(rig.mme().state(rig.conn), MmeState::kDeregistered);
+}
+
+TEST(MmeAuth, WrongResIsRejected) {
+  Rig rig;
+  NasMessage attach(MsgType::kAttachRequest);
+  attach.set_s("identity", testing::kTestImsi);
+  rig.mme().handle_uplink(rig.conn, nas::encode_plain(attach));
+  NasMessage resp(MsgType::kAuthenticationResponse);
+  resp.set_u("res", 0xBAD);
+  auto out = rig.mme().handle_uplink(rig.conn, nas::encode_plain(resp));
+  ASSERT_EQ(out.size(), 1u);
+  auto msg = nas::decode_payload(out[0].pdu.payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kAuthenticationReject);
+  EXPECT_EQ(rig.mme().state(rig.conn), MmeState::kDeregistered);
+}
+
+TEST(MmeAuth, SqnAdvancesAcrossAttaches) {
+  // HSS-level SQN state persists across sessions — the property that keeps
+  // old captured challenges valid for P1.
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  rig.tb.ue_detach(rig.conn);
+  rig.tb.run_until_quiet();
+  rig.tb.power_on(rig.conn);
+  rig.tb.run_until_quiet();
+  ASSERT_TRUE(ue::is_registered(rig.tb.ue(rig.conn).state()));
+  // The USIM saw two distinct, increasing SQNs.
+  EXPECT_EQ(rig.tb.ue(rig.conn).usim().highest_accepted_seq(), 2u);
+}
+
+TEST(MmeAuth, ResynchronizationRecovers) {
+  Rig rig;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rig.attach());
+    rig.tb.ue_detach(rig.conn);
+    rig.tb.run_until_quiet();
+  }
+  rig.mme().debug_set_sqn(testing::kTestImsi, 0, 0);
+  rig.tb.power_on(rig.conn);
+  rig.tb.run_until_quiet();
+  EXPECT_TRUE(ue::is_registered(rig.tb.ue(rig.conn).state()));
+  EXPECT_EQ(rig.mme().state(rig.conn), MmeState::kRegistered);
+}
+
+// --- Uplink protection policy ------------------------------------------------
+
+TEST(MmeUplink, RejectsProtectedWithBadMac) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  NasPdu bogus;
+  bogus.sec_hdr = nas::SecHdr::kIntegrityCiphered;
+  bogus.count = 50;
+  bogus.mac = 0xBAD;
+  bogus.payload = {1, 2, 3};
+  int before = rig.mme().protected_discards();
+  EXPECT_TRUE(rig.mme().handle_uplink(rig.conn, bogus).empty());
+  EXPECT_EQ(rig.mme().protected_discards(), before + 1);
+}
+
+TEST(MmeUplink, RejectsReplayedUplink) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  // Replay the UE's protected attach_complete.
+  const auto& captures = rig.tb.uplink_captures();
+  const NasPdu* protected_ul = nullptr;
+  for (const auto& c : captures) {
+    if (c.pdu.sec_hdr == nas::SecHdr::kIntegrityCiphered) protected_ul = &c.pdu;
+  }
+  ASSERT_NE(protected_ul, nullptr);
+  auto state_before = rig.mme().state(rig.conn);
+  EXPECT_TRUE(rig.mme().handle_uplink(rig.conn, *protected_ul).empty());
+  EXPECT_EQ(rig.mme().state(rig.conn), state_before);
+}
+
+TEST(MmeUplink, RejectsUnexpectedPlainMessage) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  // A plain security_mode_complete is not acceptable.
+  NasMessage msg(MsgType::kSecurityModeComplete);
+  EXPECT_TRUE(rig.mme().handle_uplink(rig.conn, nas::encode_plain(msg)).empty());
+}
+
+TEST(MmeUplink, FabricatedPlainDetachKicksUeOff) {
+  // The stealthy kicking-off prior attack surface: the MME accepts a plain
+  // detach_request.
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  NasMessage req(MsgType::kDetachRequest);
+  auto out = rig.mme().handle_uplink(rig.conn, nas::encode_plain(req));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(rig.mme().state(rig.conn), MmeState::kDeregistered);
+}
+
+// --- Timer discipline (P3 surface) ----------------------------------------------
+
+TEST(MmeTimers, GutiReallocationRetransmitsOnExpiry) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  // Swallow the command so the timer expires.
+  rig.tb.set_downlink_interceptor(
+      [](int, const NasPdu&) { return testing::AdversaryAction::drop(); });
+  rig.tb.mme_guti_reallocation(rig.conn);
+  rig.tb.run_until_quiet();
+  ASSERT_TRUE(rig.mme().has_pending_procedure(rig.conn));
+  std::size_t sent_before = rig.tb.downlink_captures().size();
+  rig.tb.tick(MmeNas::kTimerPeriod);
+  EXPECT_GT(rig.tb.downlink_captures().size(), sent_before);  // retransmission
+  EXPECT_TRUE(rig.mme().has_pending_procedure(rig.conn));
+}
+
+TEST(MmeTimers, ProcedureAbortsAfterMaxRetransmissions) {
+  // P3's core: dropping kMaxRetransmissions + 1 copies aborts the procedure
+  // and the old GUTI stays in use.
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  std::string guti_before = rig.mme().guti(rig.conn);
+  rig.tb.set_downlink_interceptor(
+      [](int, const NasPdu&) { return testing::AdversaryAction::drop(); });
+  rig.tb.mme_guti_reallocation(rig.conn);
+  rig.tb.run_until_quiet();
+  rig.tb.tick(MmeNas::kTimerPeriod * (MmeNas::kMaxRetransmissions + 1));
+  EXPECT_FALSE(rig.mme().has_pending_procedure(rig.conn));
+  EXPECT_EQ(rig.mme().procedures_aborted(), 1);
+  EXPECT_EQ(rig.mme().guti(rig.conn), guti_before);  // rotation never happened
+}
+
+TEST(MmeTimers, RetransmissionUsesFreshCount) {
+  // A retransmission must not look like a replay to a conformant receiver.
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  bool first = true;
+  rig.tb.set_downlink_interceptor([&first](int, const NasPdu&) {
+    if (first) {
+      first = false;
+      return testing::AdversaryAction::drop();
+    }
+    return testing::AdversaryAction::pass();
+  });
+  std::string guti_before = rig.tb.ue(rig.conn).guti();
+  rig.tb.mme_guti_reallocation(rig.conn);
+  rig.tb.run_until_quiet();
+  rig.tb.tick(MmeNas::kTimerPeriod);
+  // The retransmitted command was accepted (no replay discard).
+  EXPECT_NE(rig.tb.ue(rig.conn).guti(), guti_before);
+  EXPECT_EQ(rig.tb.ue(rig.conn).replays_accepted(), 0);
+  EXPECT_FALSE(rig.mme().has_pending_procedure(rig.conn));
+}
+
+TEST(MmeTimers, ConfigurationUpdateSameDiscipline) {
+  // The paper's 5G impact note: the configuration-update procedure has the
+  // same ×4-retransmission bound.
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  rig.tb.set_downlink_interceptor(
+      [](int, const NasPdu&) { return testing::AdversaryAction::drop(); });
+  rig.tb.mme_configuration_update(rig.conn);
+  rig.tb.run_until_quiet();
+  rig.tb.tick(MmeNas::kTimerPeriod * (MmeNas::kMaxRetransmissions + 1));
+  EXPECT_EQ(rig.mme().procedures_aborted(), 1);
+}
+
+TEST(MmeTimers, CompletionStopsTheTimer) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  rig.tb.mme_guti_reallocation(rig.conn);
+  rig.tb.run_until_quiet();
+  EXPECT_FALSE(rig.mme().has_pending_procedure(rig.conn));
+  // Ticks after completion do nothing.
+  std::size_t sent = rig.tb.downlink_captures().size();
+  rig.tb.tick(MmeNas::kTimerPeriod * 3);
+  EXPECT_EQ(rig.tb.downlink_captures().size(), sent);
+  EXPECT_EQ(rig.mme().procedures_aborted(), 0);
+}
+
+TEST(MmeProcedures, GutiAdoptedOnlyOnCompletion) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  std::string before = rig.mme().guti(rig.conn);
+  rig.tb.mme_guti_reallocation(rig.conn);
+  rig.tb.run_until_quiet();
+  std::string after = rig.mme().guti(rig.conn);
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after, rig.tb.ue(rig.conn).guti());  // both sides agree
+}
+
+TEST(MmeProcedures, TauAcceptedWhenRegistered) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  rig.tb.ue_tau(rig.conn);
+  rig.tb.run_until_quiet();
+  EXPECT_EQ(rig.mme().state(rig.conn), MmeState::kRegistered);
+  EXPECT_TRUE(ue::is_registered(rig.tb.ue(rig.conn).state()));
+}
+
+TEST(MmeProcedures, ServiceRejectWithoutContext) {
+  Rig rig;
+  NasMessage req(MsgType::kServiceRequest);
+  req.set_s("identity", "guti-unknown");
+  auto out = rig.mme().handle_uplink(rig.conn, nas::encode_plain(req));
+  ASSERT_EQ(out.size(), 1u);
+  auto msg = nas::decode_payload(out[0].pdu.payload);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kServiceReject);
+}
+
+TEST(MmeProcedures, StartsRequireRegisteredState) {
+  Rig rig;
+  EXPECT_TRUE(rig.mme().start_guti_reallocation(rig.conn).empty());
+  EXPECT_TRUE(rig.mme().start_detach(rig.conn).empty());
+  EXPECT_TRUE(rig.mme().start_configuration_update(rig.conn).empty());
+}
+
+}  // namespace
+}  // namespace procheck::mme

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "nas/crypto.h"
+
+namespace procheck::nas {
+namespace {
+
+const Bytes kRand{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+constexpr std::uint64_t kK = 0x5EC2E7ULL;
+
+TEST(Milenage, FunctionsAreDomainSeparated) {
+  // f1, f2, f5, f1*, f5* under the same key/inputs must all differ — they
+  // simulate independent primitives.
+  std::uint64_t f1 = f1_mac(kK, 10, kRand, 0x8000);
+  std::uint64_t f2 = f2_res(kK, kRand);
+  std::uint64_t f5 = f5_ak(kK, kRand);
+  std::uint64_t f1s = f1star_mac(kK, 10, kRand);
+  std::uint64_t f5s = f5star_ak(kK, kRand);
+  EXPECT_NE(f1, f2);
+  EXPECT_NE(f2, f5);
+  EXPECT_NE(f1, f1s);
+  EXPECT_NE(f5, f5s);
+}
+
+TEST(Milenage, KeyDependence) {
+  EXPECT_NE(f2_res(1, kRand), f2_res(2, kRand));
+  EXPECT_NE(f1_mac(1, 10, kRand, 0), f1_mac(2, 10, kRand, 0));
+}
+
+TEST(Milenage, InputSensitivity) {
+  EXPECT_NE(f1_mac(kK, 10, kRand, 0x8000), f1_mac(kK, 11, kRand, 0x8000));
+  EXPECT_NE(f1_mac(kK, 10, kRand, 0x8000), f1_mac(kK, 10, kRand, 0x8001));
+  Bytes other = kRand;
+  other[0] ^= 1;
+  EXPECT_NE(f1_mac(kK, 10, kRand, 0x8000), f1_mac(kK, 10, other, 0x8000));
+}
+
+TEST(Milenage, AkIs48Bit) {
+  EXPECT_EQ(f5_ak(kK, kRand) & ~kSqnMask, 0u);
+  EXPECT_EQ(f5star_ak(kK, kRand) & ~kSqnMask, 0u);
+}
+
+TEST(KeyHierarchy, DistinctKeysPerLevel) {
+  std::uint64_t kasme = derive_kasme(kK, kRand, 10);
+  std::uint64_t k_int = derive_k_nas_int(kasme, 1);
+  std::uint64_t k_enc = derive_k_nas_enc(kasme, 1);
+  EXPECT_NE(kasme, k_int);
+  EXPECT_NE(kasme, k_enc);
+  EXPECT_NE(k_int, k_enc);
+}
+
+TEST(KeyHierarchy, SqnBindsKasme) {
+  // P1's key desynchronization: a different SQN yields a different KASME.
+  EXPECT_NE(derive_kasme(kK, kRand, 10), derive_kasme(kK, kRand, 11));
+}
+
+TEST(KeyHierarchy, AlgorithmIdBindsNasKeys) {
+  std::uint64_t kasme = derive_kasme(kK, kRand, 10);
+  EXPECT_NE(derive_k_nas_int(kasme, 1), derive_k_nas_int(kasme, 2));
+}
+
+TEST(NasMac, CountAndDirectionBound) {
+  Bytes payload{1, 2, 3};
+  std::uint64_t m = nas_mac(7, 5, Direction::kUplink, payload);
+  EXPECT_EQ(m, nas_mac(7, 5, Direction::kUplink, payload));
+  EXPECT_NE(m, nas_mac(7, 6, Direction::kUplink, payload));
+  EXPECT_NE(m, nas_mac(7, 5, Direction::kDownlink, payload));
+  EXPECT_NE(m, nas_mac(8, 5, Direction::kUplink, payload));
+  EXPECT_NE(m, nas_mac(7, 5, Direction::kUplink, Bytes{1, 2, 4}));
+}
+
+TEST(NasCipher, IsInvolution) {
+  Bytes data{0x10, 0x20, 0x30, 0x40, 0x50};
+  Bytes enc = nas_cipher(9, 3, Direction::kDownlink, data);
+  EXPECT_NE(enc, data);
+  EXPECT_EQ(nas_cipher(9, 3, Direction::kDownlink, enc), data);
+}
+
+TEST(NasCipher, WrongParametersGarble) {
+  Bytes data{0x10, 0x20, 0x30};
+  Bytes enc = nas_cipher(9, 3, Direction::kDownlink, data);
+  EXPECT_NE(nas_cipher(9, 4, Direction::kDownlink, enc), data);   // wrong count
+  EXPECT_NE(nas_cipher(8, 3, Direction::kDownlink, enc), data);   // wrong key
+  EXPECT_NE(nas_cipher(9, 3, Direction::kUplink, enc), data);     // wrong direction
+}
+
+TEST(NasCipher, EmptyInput) {
+  EXPECT_TRUE(nas_cipher(9, 3, Direction::kUplink, {}).empty());
+}
+
+TEST(Autn, RoundTrip) {
+  Autn a{0x123456789ABCULL & kSqnMask, 0x8000, 0xFEED};
+  auto back = Autn::decode(a.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, a);
+}
+
+TEST(Autn, RejectsWrongLength) {
+  Autn a{1, 2, 3};
+  Bytes wire = a.encode();
+  wire.pop_back();
+  EXPECT_FALSE(Autn::decode(wire).has_value());
+  wire = a.encode();
+  wire.push_back(0);
+  EXPECT_FALSE(Autn::decode(wire).has_value());
+}
+
+TEST(Autn, MasksSqnTo48Bits) {
+  Autn a{~0ULL, 0, 0};
+  auto back = Autn::decode(a.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sqn_xor_ak, kSqnMask);
+}
+
+TEST(Auts, RoundTrip) {
+  Auts a{0xABCDEFULL, 0x1234567890ULL};
+  auto back = Auts::decode(a.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, a);
+}
+
+TEST(Auts, RejectsWrongLength) {
+  EXPECT_FALSE(Auts::decode({1, 2, 3}).has_value());
+  EXPECT_FALSE(Auts::decode({}).has_value());
+}
+
+}  // namespace
+}  // namespace procheck::nas

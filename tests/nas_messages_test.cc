@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "nas/messages.h"
+
+namespace procheck::nas {
+namespace {
+
+TEST(StandardNames, RoundTripAllTypes) {
+  for (int i = 0; i <= static_cast<int>(MsgType::kConfigurationUpdateComplete); ++i) {
+    auto type = static_cast<MsgType>(i);
+    std::string_view name = standard_name(type);
+    EXPECT_NE(name, "unknown") << i;
+    auto back = msg_type_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, type);
+  }
+}
+
+TEST(StandardNames, UnknownNameRejected) {
+  EXPECT_FALSE(msg_type_from_name("not_a_message").has_value());
+  EXPECT_FALSE(msg_type_from_name("").has_value());
+}
+
+TEST(StandardNames, PaperExamples) {
+  // The names the paper's extractor matches (§IV-A).
+  EXPECT_EQ(standard_name(MsgType::kAttachAccept), "attach_accept");
+  EXPECT_EQ(standard_name(MsgType::kAuthenticationRequest), "authentication_request");
+  EXPECT_EQ(standard_name(MsgType::kSecurityModeCommand), "security_mode_command");
+  EXPECT_EQ(standard_name(MsgType::kGutiReallocationCommand), "guti_reallocation_command");
+}
+
+TEST(EnumStrings, SecHdrAndCause) {
+  EXPECT_EQ(to_string(SecHdr::kPlain), "plain_nas");
+  EXPECT_EQ(to_string(SecHdr::kIntegrity), "integrity_protected");
+  EXPECT_EQ(to_string(SecHdr::kIntegrityCiphered), "integrity_protected_ciphered");
+  EXPECT_EQ(to_string(EmmCause::kMacFailure), "mac_failure");
+  EXPECT_EQ(to_string(EmmCause::kSynchFailure), "synch_failure");
+}
+
+TEST(NasMessage, FieldAccessors) {
+  NasMessage m(MsgType::kAttachRequest);
+  EXPECT_FALSE(m.has("identity"));
+  EXPECT_EQ(m.get_u("missing", 7), 7u);
+  EXPECT_EQ(m.get_s("missing", "dflt"), "dflt");
+  EXPECT_TRUE(m.get_b("missing").empty());
+
+  m.set_u("count", 3).set_s("identity", "imsi-1").set_b("rand", {1, 2});
+  EXPECT_TRUE(m.has("count"));
+  EXPECT_TRUE(m.has("identity"));
+  EXPECT_TRUE(m.has("rand"));
+  EXPECT_EQ(m.get_u("count"), 3u);
+  EXPECT_EQ(m.get_s("identity"), "imsi-1");
+  EXPECT_EQ(m.get_b("rand"), (Bytes{1, 2}));
+}
+
+class PayloadRoundTrip : public ::testing::TestWithParam<MsgType> {};
+
+TEST_P(PayloadRoundTrip, EncodeDecode) {
+  NasMessage m(GetParam());
+  m.set_u("eia", 1).set_u("count", 42);
+  m.set_s("identity", "001010123456789").set_s("cause", "congestion");
+  m.set_b("rand", {0xAA, 0xBB, 0xCC});
+  m.set_b("autn", {});
+  Bytes wire = encode_payload(m);
+  auto back = decode_payload(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, PayloadRoundTrip,
+                         ::testing::Values(MsgType::kAttachRequest, MsgType::kAttachAccept,
+                                           MsgType::kAuthenticationRequest,
+                                           MsgType::kAuthenticationFailure,
+                                           MsgType::kSecurityModeCommand,
+                                           MsgType::kIdentityResponse,
+                                           MsgType::kGutiReallocationCommand,
+                                           MsgType::kDetachRequest, MsgType::kPaging,
+                                           MsgType::kTauReject, MsgType::kServiceRequest,
+                                           MsgType::kConfigurationUpdateCommand));
+
+TEST(PayloadCodec, EmptyMessage) {
+  NasMessage m(MsgType::kDetachAccept);
+  auto back = decode_payload(encode_payload(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(PayloadCodec, RejectsUnknownType) {
+  Bytes wire = encode_payload(NasMessage(MsgType::kPaging));
+  wire[0] = 0xFF;
+  EXPECT_FALSE(decode_payload(wire).has_value());
+}
+
+TEST(PayloadCodec, RejectsTruncation) {
+  NasMessage m(MsgType::kAttachAccept);
+  m.set_s("guti", "guti-1");
+  Bytes wire = encode_payload(m);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_payload(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(PayloadCodec, RejectsTrailingGarbage) {
+  Bytes wire = encode_payload(NasMessage(MsgType::kPaging));
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode_payload(wire).has_value());
+}
+
+TEST(PayloadCodec, DeterministicFieldOrder) {
+  NasMessage a(MsgType::kAttachRequest);
+  a.set_u("x", 1).set_u("y", 2);
+  NasMessage b(MsgType::kAttachRequest);
+  b.set_u("y", 2).set_u("x", 1);
+  EXPECT_EQ(encode_payload(a), encode_payload(b));
+}
+
+TEST(NasPdu, RoundTrip) {
+  NasPdu pdu;
+  pdu.sec_hdr = SecHdr::kIntegrityCiphered;
+  pdu.count = 17;
+  pdu.mac = 0xFEEDFACE12345678ULL;
+  pdu.payload = {9, 8, 7};
+  auto back = NasPdu::decode(pdu.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pdu);
+}
+
+TEST(NasPdu, RejectsBadHeader) {
+  NasPdu pdu;
+  Bytes wire = pdu.encode();
+  wire[0] = 0x09;  // invalid security header type
+  EXPECT_FALSE(NasPdu::decode(wire).has_value());
+}
+
+TEST(NasPdu, RejectsShortWire) {
+  EXPECT_FALSE(NasPdu::decode({0x00, 0x01}).has_value());
+  EXPECT_FALSE(NasPdu::decode({}).has_value());
+}
+
+TEST(NasPdu, EmptyPayloadAllowed) {
+  NasPdu pdu;
+  auto back = NasPdu::decode(pdu.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+}  // namespace
+}  // namespace procheck::nas

@@ -1,0 +1,288 @@
+// Tests for the TS 33.102 Annex C sequence-number scheme — the root cause
+// of the paper's P1/P2 attacks (Fig. 5) and the I3 deviation. The key
+// behavioral facts under test:
+//   * out-of-order *stale* SQNs are accepted when they land in an SQN-array
+//     slot with an older SEQ (up to 31 captured challenges stay valid);
+//   * the optional freshness limit L (Annex C.2.2) closes that window;
+//   * equal-SEQ re-acceptance only happens under the I3 deviation.
+#include <gtest/gtest.h>
+
+#include "nas/crypto.h"
+#include "nas/sqn.h"
+
+namespace procheck::nas {
+namespace {
+
+constexpr std::uint64_t kK = 0x5EC2E7ULL;
+
+struct Challenge {
+  Bytes rand;
+  Bytes autn;
+};
+
+Challenge make_challenge(std::uint64_t k, Sqn sqn, std::uint8_t rand_tag = 0) {
+  Challenge c;
+  c.rand = {0xA0, rand_tag, static_cast<std::uint8_t>(sqn.seq & 0xFF),
+            static_cast<std::uint8_t>(sqn.ind & 0xFF)};
+  Autn autn;
+  autn.sqn_xor_ak = (sqn.value() ^ f5_ak(k, c.rand)) & kSqnMask;
+  autn.amf = 0x8000;
+  autn.mac = f1_mac(k, sqn.value(), c.rand, autn.amf);
+  c.autn = autn.encode();
+  return c;
+}
+
+// --- Sqn value packing ---------------------------------------------------
+
+TEST(Sqn, PackUnpack) {
+  Sqn s{0x1234, 17};
+  Sqn back = Sqn::from_value(s.value());
+  EXPECT_EQ(back.seq, s.seq);
+  EXPECT_EQ(back.ind, s.ind);
+}
+
+TEST(Sqn, IndOccupiesLowBits) {
+  Sqn s{1, 0};
+  EXPECT_EQ(s.value(), 1u << kIndBits);
+  Sqn s2{0, 5};
+  EXPECT_EQ(s2.value(), 5u);
+}
+
+TEST(Sqn, FromValueMasks48Bits) {
+  Sqn s = Sqn::from_value(~0ULL);
+  EXPECT_EQ(s.value(), kSqnMask);
+}
+
+// --- Generator -----------------------------------------------------------
+
+TEST(SqnGenerator, IncrementsSeqAndCyclesInd) {
+  SqnGenerator gen;
+  Sqn first = gen.next();
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(first.ind, 0u);
+  for (std::uint32_t i = 1; i < kIndCount + 2; ++i) {
+    Sqn s = gen.next();
+    EXPECT_EQ(s.seq, i + 1);
+    EXPECT_EQ(s.ind, i % kIndCount);
+  }
+}
+
+TEST(SqnGenerator, ResumesFromExplicitState) {
+  SqnGenerator gen(100, 5);
+  Sqn s = gen.next();
+  EXPECT_EQ(s.seq, 101u);
+  EXPECT_EQ(s.ind, 6u);
+}
+
+// --- USIM basic verification ----------------------------------------------
+
+TEST(Usim, AcceptsFreshChallenge) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Challenge c = make_challenge(kK, gen.next());
+  auto out = usim.authenticate(c.rand, c.autn);
+  EXPECT_EQ(out.result, Usim::Result::kOk);
+  EXPECT_EQ(out.res, f2_res(kK, c.rand));
+  EXPECT_EQ(out.kasme, derive_kasme(kK, c.rand, out.received_sqn.value()));
+  EXPECT_FALSE(out.equal_seq_accepted);
+}
+
+TEST(Usim, RejectsWrongKeyAsMacFailure) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Challenge c = make_challenge(kK ^ 1, gen.next());  // built under another key
+  EXPECT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kMacFailure);
+}
+
+TEST(Usim, RejectsTamperedAutnAsMacFailure) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Challenge c = make_challenge(kK, gen.next());
+  c.autn.back() ^= 0xFF;
+  EXPECT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kMacFailure);
+}
+
+TEST(Usim, RejectsMalformedAutn) {
+  Usim usim(kK);
+  EXPECT_EQ(usim.authenticate({1, 2}, {0x00}).result, Usim::Result::kMacFailure);
+}
+
+TEST(Usim, UpdatesArraySlotOnAccept) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Sqn sqn = gen.next();
+  Challenge c = make_challenge(kK, sqn);
+  ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  EXPECT_EQ(usim.seq_at(sqn.ind), sqn.seq);
+  EXPECT_EQ(usim.highest_accepted_seq(), sqn.seq);
+}
+
+TEST(Usim, ReplayOfSameChallengeIsSyncFailure) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Challenge c = make_challenge(kK, gen.next());
+  ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  auto replay = usim.authenticate(c.rand, c.autn);
+  EXPECT_EQ(replay.result, Usim::Result::kSyncFailure);
+  EXPECT_FALSE(replay.auts.empty());
+}
+
+TEST(Usim, AutsCarriesHighestAcceptedSqn) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Challenge c1 = make_challenge(kK, gen.next(), 1);
+  Challenge c2 = make_challenge(kK, gen.next(), 2);
+  ASSERT_EQ(usim.authenticate(c1.rand, c1.autn).result, Usim::Result::kOk);
+  ASSERT_EQ(usim.authenticate(c2.rand, c2.autn).result, Usim::Result::kOk);
+  auto fail = usim.authenticate(c1.rand, c1.autn);  // stale same-slot replay
+  ASSERT_EQ(fail.result, Usim::Result::kSyncFailure);
+  auto auts = Auts::decode(fail.auts);
+  ASSERT_TRUE(auts.has_value());
+  std::uint64_t sqn_ms = (auts->sqn_ms_xor_ak ^ f5star_ak(kK, c1.rand)) & kSqnMask;
+  EXPECT_EQ(Sqn::from_value(sqn_ms).seq, usim.highest_accepted_seq());
+  EXPECT_EQ(auts->mac_s, f1star_mac(kK, sqn_ms, c1.rand));
+}
+
+// --- The P1 root cause: stale out-of-order SQNs are accepted ---------------
+
+TEST(Usim, AcceptsStaleOutOfOrderSqn_TheP1Vulnerability) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  // Adversary captures (and drops) challenge #1; the network proceeds with
+  // #2..#4, all consumed normally.
+  Sqn captured_sqn = gen.next();
+  Challenge captured = make_challenge(kK, captured_sqn, 99);
+  for (int i = 0; i < 3; ++i) {
+    Challenge c = make_challenge(kK, gen.next(), static_cast<std::uint8_t>(i));
+    ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  }
+  // The days-old challenge replays successfully: its IND slot still holds
+  // SEQ 0 while the received SEQ is 1.
+  auto replay = usim.authenticate(captured.rand, captured.autn);
+  EXPECT_EQ(replay.result, Usim::Result::kOk);
+}
+
+TEST(Usim, AcceptsUpTo31StaleChallenges) {
+  // With IND = 5 bits the USIM accepts up to kIndCount - 1 captured
+  // challenges (the paper: "the USIM accepts 31 previously captured stale
+  // authentication_request messages").
+  Usim usim(kK);
+  SqnGenerator gen;
+  std::vector<Challenge> captured;
+  std::vector<Sqn> sqns;
+  for (std::uint32_t i = 0; i < kIndCount - 1; ++i) {
+    Sqn s = gen.next();
+    sqns.push_back(s);
+    captured.push_back(make_challenge(kK, s, static_cast<std::uint8_t>(i)));
+  }
+  // One fresh challenge is consumed; it lands on IND 31.
+  Challenge fresh = make_challenge(kK, gen.next(), 200);
+  ASSERT_EQ(usim.authenticate(fresh.rand, fresh.autn).result, Usim::Result::kOk);
+  // All 31 captured challenges now replay successfully.
+  for (std::uint32_t i = 0; i < captured.size(); ++i) {
+    EXPECT_EQ(usim.authenticate(captured[i].rand, captured[i].autn).result,
+              Usim::Result::kOk)
+        << "captured challenge " << i;
+  }
+}
+
+// --- Freshness limit L (the Annex C.2.2 mitigation, ablation knob) ---------
+
+TEST(Usim, FreshnessLimitRejectsStaleSqn) {
+  UsimConfig cfg;
+  cfg.freshness_limit = 1;
+  Usim usim(kK, cfg);
+  SqnGenerator gen;
+  Sqn captured_sqn = gen.next();
+  Challenge captured = make_challenge(kK, captured_sqn, 99);
+  for (int i = 0; i < 3; ++i) {
+    Challenge c = make_challenge(kK, gen.next(), static_cast<std::uint8_t>(i));
+    ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  }
+  // SEQ_MS - SEQ_received = 4 - 1 > L = 1: rejected.
+  EXPECT_EQ(usim.authenticate(captured.rand, captured.autn).result,
+            Usim::Result::kSyncFailure);
+}
+
+TEST(Usim, FreshnessLimitStillAcceptsRecentOutOfOrder) {
+  UsimConfig cfg;
+  cfg.freshness_limit = 10;
+  Usim usim(kK, cfg);
+  SqnGenerator gen;
+  Sqn first = gen.next();
+  Challenge c1 = make_challenge(kK, first, 1);
+  Challenge c2 = make_challenge(kK, gen.next(), 2);
+  // Delivered out of order but within the window: both accepted.
+  ASSERT_EQ(usim.authenticate(c2.rand, c2.autn).result, Usim::Result::kOk);
+  EXPECT_EQ(usim.authenticate(c1.rand, c1.autn).result, Usim::Result::kOk);
+}
+
+// --- I3 deviation: equal-SEQ acceptance -------------------------------------
+
+TEST(Usim, ConformantRejectsEqualSeq) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  Challenge c = make_challenge(kK, gen.next());
+  ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  EXPECT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kSyncFailure);
+}
+
+TEST(Usim, I3DeviationAcceptsEqualSeqAndFlagsIt) {
+  UsimConfig cfg;
+  cfg.accept_equal_seq = true;
+  Usim usim(kK, cfg);
+  SqnGenerator gen;
+  Challenge c = make_challenge(kK, gen.next());
+  ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  auto replay = usim.authenticate(c.rand, c.autn);
+  EXPECT_EQ(replay.result, Usim::Result::kOk);
+  EXPECT_TRUE(replay.equal_seq_accepted);  // the logged counter_reset atom
+}
+
+// --- Property-style sweep: monotone in-order delivery always accepted -------
+
+class InOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InOrderSweep, AllInOrderChallengesAccepted) {
+  Usim usim(kK);
+  SqnGenerator gen;
+  for (int i = 0; i < GetParam(); ++i) {
+    Challenge c = make_challenge(kK, gen.next(), static_cast<std::uint8_t>(i & 0xFF));
+    ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk) << i;
+  }
+  EXPECT_EQ(usim.highest_accepted_seq(), static_cast<std::uint64_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, InOrderSweep, ::testing::Values(1, 5, 32, 33, 100));
+
+class StaleWindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StaleWindowSweep, StaleAcceptanceDependsOnSlotAge) {
+  // Capture challenge #1, consume `gap` further challenges, then replay.
+  // The replay is accepted iff the captured challenge's IND slot was not
+  // overwritten in between (gap < kIndCount).
+  const std::uint32_t gap = GetParam();
+  Usim usim(kK);
+  SqnGenerator gen;
+  Sqn captured_sqn = gen.next();
+  Challenge captured = make_challenge(kK, captured_sqn, 77);
+  for (std::uint32_t i = 0; i < gap; ++i) {
+    Challenge c = make_challenge(kK, gen.next(), static_cast<std::uint8_t>(i & 0xFF));
+    ASSERT_EQ(usim.authenticate(c.rand, c.autn).result, Usim::Result::kOk);
+  }
+  auto replay = usim.authenticate(captured.rand, captured.autn);
+  if (gap >= kIndCount) {
+    // The slot has been overwritten with a larger SEQ: rejected.
+    EXPECT_EQ(replay.result, Usim::Result::kSyncFailure);
+  } else {
+    // The captured challenge's slot is untouched (its SEQ is still below
+    // the received one): the stale challenge is accepted.
+    EXPECT_EQ(replay.result, Usim::Result::kOk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, StaleWindowSweep,
+                         ::testing::Values(0u, 1u, 2u, 15u, 31u, 32u, 40u));
+
+}  // namespace
+}  // namespace procheck::nas

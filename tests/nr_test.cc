@@ -1,0 +1,249 @@
+// 5G NR stack tests: the paper's "Impact on 5G" claims — P1/P2 carry over
+// (identical SQN scheme), P3 carries over (T3555 bounded retries on the
+// configuration update), while SUCI concealment removes LTE-style IMSI
+// catching — and the portability claim: the unchanged extractor and
+// threat-composer run on 5G logs.
+#include <gtest/gtest.h>
+
+#include "extractor/extractor.h"
+#include "nr/nr_stack.h"
+#include "threat/compose.h"
+
+namespace procheck::nr {
+namespace {
+
+using nas::MsgType;
+using nas::NasMessage;
+using nas::NasPdu;
+
+struct Rig {
+  std::uint64_t hn_key = 0x5159;
+  Amf amf;
+  NrUe ue;
+  Rig(instrument::TraceLogger* trace = nullptr,
+      std::optional<std::uint64_t> freshness = std::nullopt)
+      : amf(0x5159, 0xA3F, trace), ue(0xFEED5, "001010987654321", 0x5159, trace, freshness) {
+    amf.provision_subscriber("001010987654321", 0xFEED5);
+  }
+  bool do_register() { return complete_registration(ue, amf); }
+};
+
+TEST(Suci, ConcealmentHidesSupi) {
+  std::string suci = conceal_supi("001010987654321", 0x5159);
+  EXPECT_EQ(suci.find("001010987654321"), std::string::npos);
+  EXPECT_EQ(suci, conceal_supi("001010987654321", 0x5159));      // deterministic
+  EXPECT_NE(suci, conceal_supi("001010987654322", 0x5159));      // identity-bound
+  EXPECT_NE(suci, conceal_supi("001010987654321", 0x5158));      // key-bound
+}
+
+TEST(Registration, CompletesWithGuti) {
+  Rig rig;
+  ASSERT_TRUE(rig.do_register());
+  EXPECT_NE(rig.ue.guti(), "none");
+  EXPECT_EQ(rig.ue.guti(), rig.amf.assigned_guti());
+  EXPECT_EQ(rig.ue.authentications_completed(), 1);
+}
+
+TEST(Registration, SupiNeverOnTheAirInClear) {
+  // Capture every uplink PDU and check the SUPI digits never appear in any
+  // plaintext payload — the 5G privacy improvement over LTE attach.
+  Rig rig;
+  std::vector<NasPdu> uplink = rig.ue.power_on_register();
+  std::vector<NasPdu> downlink;
+  bool leaked = false;
+  auto check = [&leaked, &rig](const NasPdu& pdu) {
+    if (pdu.sec_hdr != nas::SecHdr::kPlain) return;  // ciphered is fine
+    auto msg = nas::decode_payload(pdu.payload);
+    if (!msg) return;
+    for (const auto& [k, v] : msg->s) {
+      leaked = leaked || v.find(rig.ue.supi()) != std::string::npos;
+    }
+  };
+  for (int step = 0; step < 100 && (!uplink.empty() || !downlink.empty()); ++step) {
+    if (!downlink.empty()) {
+      NasPdu pdu = downlink.front();
+      downlink.erase(downlink.begin());
+      for (auto& out : rig.ue.handle_downlink(pdu)) {
+        check(out);
+        uplink.push_back(std::move(out));
+      }
+    } else {
+      NasPdu pdu = uplink.front();
+      check(pdu);
+      uplink.erase(uplink.begin());
+      for (auto& out : rig.amf.handle_uplink(pdu)) downlink.push_back(std::move(out));
+    }
+  }
+  EXPECT_TRUE(rig.ue.state() == FgmmState::kRegistered);
+  EXPECT_FALSE(leaked);
+}
+
+TEST(Registration, IdentityRequestYieldsSuciNotSupi) {
+  Rig rig;
+  NasMessage req(MsgType::kIdentityRequest);
+  auto out = rig.ue.handle_downlink(nas::encode_plain(req));
+  ASSERT_EQ(out.size(), 1u);
+  auto resp = nas::decode_payload(out[0].payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->get_s("identity"), conceal_supi(rig.ue.supi(), 0x5159));
+}
+
+TEST(Registration, UnknownSuciRejected) {
+  Amf amf(0x5159);
+  NrUe rogue(0xBAD, "999999999999999", 0x5159);  // not provisioned
+  exchange(rogue, amf, rogue.power_on_register());
+  EXPECT_EQ(rogue.state(), FgmmState::kDeregistered);
+}
+
+TEST(Registration, DeregistrationRoundTrip) {
+  Rig rig;
+  ASSERT_TRUE(rig.do_register());
+  exchange(rig.ue, rig.amf, rig.ue.trigger_deregister());
+  EXPECT_EQ(rig.ue.state(), FgmmState::kDeregistered);
+  EXPECT_FALSE(rig.ue.security().valid);
+}
+
+TEST(Registration, SyncFailureResynchronizes) {
+  Rig rig;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rig.do_register());
+    exchange(rig.ue, rig.amf, rig.ue.trigger_deregister());
+  }
+  rig.amf.debug_set_sqn("001010987654321", 0, 0);
+  ASSERT_TRUE(rig.do_register());  // recovers via AUTS
+}
+
+// --- "Impact on 5G": P1 carries over ------------------------------------------
+
+TEST(FiveGImpact, P1StaleChallengeReplayDesynchronizesKeys) {
+  // The SQN scheme is exactly the same in 5G: capture a challenge the UE
+  // never consumed, register normally, replay — accepted, keys desync.
+  Rig rig;
+  // Elicit a challenge via a rogue registration with the victim's SUCI and
+  // capture it without delivering.
+  NasMessage rogue_reg(MsgType::kRegistrationRequest);
+  rogue_reg.set_s("identity", conceal_supi(rig.ue.supi(), 0x5159));
+  auto challenge = rig.amf.handle_uplink(nas::encode_plain(rogue_reg));
+  ASSERT_EQ(challenge.size(), 1u);
+  NasPdu captured = challenge[0];  // dropped in transit
+
+  ASSERT_TRUE(rig.do_register());
+  int auth_before = rig.ue.authentications_completed();
+  auto out = rig.ue.handle_downlink(captured);
+  ASSERT_EQ(out.size(), 1u);
+  auto resp = nas::decode_payload(out[0].payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, MsgType::kAuthenticationResponse);  // stale SQN accepted!
+  EXPECT_EQ(rig.ue.authentications_completed(), auth_before + 1);
+  EXPECT_FALSE(rig.ue.security().valid);  // 5G P1: key desynchronization
+}
+
+TEST(FiveGImpact, FreshnessLimitMitigatesP1InFiveGToo) {
+  instrument::TraceLogger* no_trace = nullptr;
+  Rig rig(no_trace, /*freshness=*/std::uint64_t{1});
+  NasMessage rogue_reg(MsgType::kRegistrationRequest);
+  rogue_reg.set_s("identity", conceal_supi(rig.ue.supi(), 0x5159));
+  auto challenge = rig.amf.handle_uplink(nas::encode_plain(rogue_reg));
+  ASSERT_EQ(challenge.size(), 1u);
+  NasPdu captured = challenge[0];
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rig.do_register());
+    exchange(rig.ue, rig.amf, rig.ue.trigger_deregister());
+  }
+  auto out = rig.ue.handle_downlink(captured);
+  ASSERT_EQ(out.size(), 1u);
+  auto resp = nas::decode_payload(out[0].payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->type, MsgType::kAuthenticationFailure);
+}
+
+// --- "Impact on 5G": P3 carries over (T3555) -----------------------------------
+
+TEST(FiveGImpact, P3ConfigurationUpdateAbortsAfterFiveDrops) {
+  Rig rig;
+  ASSERT_TRUE(rig.do_register());
+  std::string guti_before = rig.ue.guti();
+  // The adversary drops the command and all four retransmissions.
+  auto first = rig.amf.start_configuration_update();
+  ASSERT_EQ(first.size(), 1u);  // dropped
+  int transmissions = 1;
+  for (int tick = 0; tick < Amf::kTimerPeriod * (Amf::kMaxRetransmissions + 2); ++tick) {
+    transmissions += static_cast<int>(rig.amf.tick().size());  // all dropped
+  }
+  EXPECT_EQ(transmissions, 1 + Amf::kMaxRetransmissions);  // 5 total tries
+  EXPECT_EQ(rig.amf.procedures_aborted(), 1);
+  EXPECT_FALSE(rig.amf.has_pending_procedure());
+  EXPECT_EQ(rig.ue.guti(), guti_before);  // the 5G-GUTI never rotated
+}
+
+TEST(FiveGImpact, ConfigurationUpdateCompletesUndisturbed) {
+  Rig rig;
+  ASSERT_TRUE(rig.do_register());
+  std::string guti_before = rig.ue.guti();
+  exchange(rig.ue, rig.amf, {}, 0);  // no-op
+  auto cmds = rig.amf.start_configuration_update();
+  ASSERT_EQ(cmds.size(), 1u);
+  std::vector<NasPdu> uplink;
+  for (auto& out : rig.ue.handle_downlink(cmds[0])) uplink.push_back(out);
+  exchange(rig.ue, rig.amf, uplink);
+  EXPECT_FALSE(rig.amf.has_pending_procedure());
+  EXPECT_NE(rig.ue.guti(), guti_before);
+}
+
+// --- Portability: the unchanged pipeline runs on 5G logs ------------------------
+
+extractor::Signatures nr_signatures() {
+  extractor::Signatures sigs;
+  for (std::string_view s : kNrStateNames) sigs.state_signatures.emplace_back(s);
+  sigs.incoming_prefixes = {"recv_"};
+  sigs.outgoing_prefixes = {"send_"};
+  return sigs;
+}
+
+TEST(FiveGPipeline, ExtractorRunsOnFiveGLogs) {
+  instrument::TraceLogger trace;
+  Amf amf(0x5159, 0xA3F, nullptr);  // instrument only the UE layer
+  NrUe ue(0xFEED5, "001010987654321", 0x5159, &trace);
+  amf.provision_subscriber("001010987654321", 0xFEED5);
+  ASSERT_TRUE(complete_registration(ue, amf));
+  exchange(ue, amf, ue.trigger_deregister());
+  ASSERT_TRUE(complete_registration(ue, amf));
+
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "FIVEGMM_DEREGISTERED";
+  fsm::Fsm m = extractor::extract(trace.records(), nr_signatures(), opts);
+  EXPECT_GE(m.stats().states, 3u);
+  EXPECT_TRUE(m.conditions().count("registration_accept"));
+  EXPECT_TRUE(m.conditions().count("authentication_request"));
+  EXPECT_TRUE(m.actions().count("registration_complete"));
+}
+
+TEST(FiveGPipeline, ComposerRunsOnFiveGMachines) {
+  instrument::TraceLogger trace;
+  Amf amf(0x5159, 0xA3F, nullptr);
+  NrUe ue(0xFEED5, "001010987654321", 0x5159, &trace);
+  amf.provision_subscriber("001010987654321", 0xFEED5);
+  ASSERT_TRUE(complete_registration(ue, amf));
+
+  extractor::ExtractionOptions opts;
+  opts.chain_substates = false;
+  opts.initial_state = "FIVEGMM_DEREGISTERED";
+  fsm::Fsm ue_fsm = extractor::extract_basic(trace.records(), nr_signatures(), opts);
+
+  // A minimal manual 5G AMF model (as the paper used a manual MME model).
+  fsm::Fsm amf_fsm;
+  amf_fsm.set_initial("AMF_DEREGISTERED");
+  fsm::Transition t;
+  t.from = "AMF_DEREGISTERED";
+  t.to = "AMF_COMMON";
+  t.conditions = {"registration_request"};
+  t.actions = {"authentication_request"};
+  amf_fsm.add_transition(t);
+
+  threat::ThreatModel tm = threat::compose(ue_fsm, amf_fsm);
+  EXPECT_GE(tm.dl_index("authentication_request"), 1);
+  EXPECT_GT(tm.model.commands().size(), 5u);
+}
+
+}  // namespace
+}  // namespace procheck::nr

@@ -1,0 +1,83 @@
+// Report-renderer tests: the markdown output a vendor reads.
+#include <gtest/gtest.h>
+
+#include "checker/report.h"
+#include "common/strings.h"
+
+namespace procheck::checker {
+namespace {
+
+const ImplementationReport& srs_report() {
+  static const ImplementationReport rep = [] {
+    AnalysisOptions options;
+    options.only_properties = {"S01", "S05", "S07", "S20", "P01", "P04"};
+    return ProChecker::analyze(ue::StackProfile::srsue(), options);
+  }();
+  return rep;
+}
+
+TEST(Report, StatusWords) {
+  EXPECT_EQ(to_string(PropertyResult::Status::kVerified), "verified");
+  EXPECT_EQ(to_string(PropertyResult::Status::kAttack), "ATTACK");
+  EXPECT_EQ(to_string(PropertyResult::Status::kNotApplicable), "n/a");
+}
+
+TEST(Report, ContainsPipelineAndVerdictSections) {
+  std::string md = render_report(srs_report());
+  EXPECT_TRUE(contains(md, "# ProChecker report: srsue"));
+  EXPECT_TRUE(contains(md, "## Pipeline"));
+  EXPECT_TRUE(contains(md, "## Conformance"));
+  EXPECT_TRUE(contains(md, "## Verdicts"));
+  EXPECT_TRUE(contains(md, "Table I rows detected:"));
+  EXPECT_TRUE(contains(md, "P1"));
+  EXPECT_TRUE(contains(md, "I1"));
+}
+
+TEST(Report, AttacksListedVerifiedHiddenByDefault) {
+  std::string md = render_report(srs_report());
+  EXPECT_TRUE(contains(md, "### S01 — ATTACK"));
+  EXPECT_TRUE(contains(md, "### S05 — ATTACK"));
+  EXPECT_FALSE(contains(md, "### S20"));  // verified: hidden by default
+}
+
+TEST(Report, IncludeVerifiedOption) {
+  ReportOptions options;
+  options.include_verified = true;
+  std::string md = render_report(srs_report(), options);
+  EXPECT_TRUE(contains(md, "### S20 — verified"));
+  EXPECT_TRUE(contains(md, "### P04 — n/a"));
+}
+
+TEST(Report, TracesIncludedOnRequest) {
+  ReportOptions options;
+  options.include_traces = true;
+  std::string md = render_report(srs_report(), options);
+  EXPECT_TRUE(contains(md, "```"));
+  EXPECT_TRUE(contains(md, "adv_"));  // an adversary step in some trace
+}
+
+TEST(Report, CegarRefinementsShown) {
+  ReportOptions options;
+  options.include_verified = true;
+  std::string md = render_report(srs_report(), options);
+  // S20 verifies only after the CPV prunes the fabricated attach_accept.
+  EXPECT_TRUE(contains(md, "CEGAR"));
+  EXPECT_TRUE(contains(md, "banned"));
+}
+
+TEST(Report, FindingsMatrix) {
+  const ImplementationReport& rep = srs_report();
+  std::string md = render_findings_matrix({&rep, &rep});
+  EXPECT_TRUE(contains(md, "| Property | Row | srsue | srsue |"));
+  EXPECT_TRUE(contains(md, "| S01 | P1 | ATTACK | ATTACK |"));
+  // Verified-everywhere rows omitted.
+  EXPECT_FALSE(contains(md, "| S20 |"));
+}
+
+TEST(Report, EmptyMatrix) {
+  std::string md = render_findings_matrix({});
+  EXPECT_TRUE(contains(md, "| Property | Row |"));
+}
+
+}  // namespace
+}  // namespace procheck::checker

@@ -1,0 +1,158 @@
+// Robustness sweeps: decoders, log parsing, and the live stacks must
+// tolerate arbitrary adversarial octets without crashing or corrupting
+// state (the paper's Dolev–Yao adversary can put anything on the air).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "extractor/extractor.h"
+#include "instrument/source_instrumentor.h"
+#include "instrument/trace_log.h"
+#include "nas/messages.h"
+#include "nas/security_context.h"
+#include "nas/sqn.h"
+#include "testing/conformance.h"
+#include "testing/testbed.h"
+#include "ue/emm_state.h"
+
+namespace procheck {
+namespace {
+
+class RandomBytesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBytesSweep, PayloadDecoderNeverMisbehaves) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk = rng.next_bytes(rng.next_below(64));
+    auto msg = nas::decode_payload(junk);
+    if (msg) {
+      // Anything that decodes must re-encode to a decodable payload.
+      auto back = nas::decode_payload(nas::encode_payload(*msg));
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, *msg);
+    }
+  }
+}
+
+TEST_P(RandomBytesSweep, PduDecoderNeverMisbehaves) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk = rng.next_bytes(rng.next_below(64));
+    auto pdu = nas::NasPdu::decode(junk);
+    if (pdu) {
+      auto back = nas::NasPdu::decode(pdu->encode());
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, *pdu);
+    }
+  }
+}
+
+TEST_P(RandomBytesSweep, UsimToleratesGarbageAutn) {
+  Rng rng(GetParam());
+  nas::Usim usim(0x5EC2E7);
+  for (int i = 0; i < 200; ++i) {
+    Bytes rand_bytes = rng.next_bytes(rng.next_below(20));
+    Bytes autn = rng.next_bytes(rng.next_below(40));
+    auto out = usim.authenticate(rand_bytes, autn);
+    // Garbage must never authenticate (the MAC space is 64-bit).
+    EXPECT_NE(out.result, nas::Usim::Result::kOk);
+  }
+  EXPECT_EQ(usim.highest_accepted_seq(), 0u);  // array untouched
+}
+
+TEST_P(RandomBytesSweep, LogParserToleratesGarbageText) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Bytes junk = rng.next_bytes(rng.next_below(256));
+    std::string text(junk.begin(), junk.end());
+    EXPECT_NO_THROW(instrument::parse_log(text));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytesSweep, ::testing::Values(1u, 2u, 3u, 42u));
+
+class GarbagePduSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GarbagePduSweep, LiveUeSurvivesGarbageDownlink) {
+  // Bombard an attached conformant UE with random PDUs: it must neither
+  // crash nor lose its registration/security state.
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  ASSERT_TRUE(testing::complete_attach(tb, conn));
+  auto state_before = tb.ue(conn).state();
+  std::string guti_before = tb.ue(conn).guti();
+
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    nas::NasPdu pdu;
+    pdu.sec_hdr = static_cast<nas::SecHdr>(rng.next_below(3));
+    pdu.count = static_cast<std::uint32_t>(rng.next_u64());
+    pdu.mac = rng.next_u64();
+    pdu.payload = rng.next_bytes(rng.next_below(48));
+    tb.inject_downlink(conn, pdu);
+  }
+  tb.run_until_quiet(5000);
+
+  EXPECT_EQ(tb.ue(conn).state(), state_before);
+  EXPECT_EQ(tb.ue(conn).guti(), guti_before);
+  EXPECT_TRUE(tb.ue(conn).security().valid);
+  EXPECT_EQ(tb.ue(conn).replays_accepted(), 0);
+}
+
+TEST_P(GarbagePduSweep, LiveMmeSurvivesGarbageUplink) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  ASSERT_TRUE(testing::complete_attach(tb, conn));
+  auto state_before = tb.mme().state(conn);
+
+  Rng rng(GetParam() ^ 0xFEED);
+  for (int i = 0; i < 300; ++i) {
+    nas::NasPdu pdu;
+    pdu.sec_hdr = static_cast<nas::SecHdr>(rng.next_below(3));
+    pdu.count = static_cast<std::uint32_t>(rng.next_u64());
+    pdu.mac = rng.next_u64();
+    pdu.payload = rng.next_bytes(rng.next_below(48));
+    tb.inject_uplink(conn, pdu);
+  }
+  tb.run_until_quiet(5000);
+  EXPECT_EQ(tb.mme().state(conn), state_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbagePduSweep, ::testing::Values(7u, 99u));
+
+TEST(Robustness, SourceInstrumentorToleratesArbitraryText) {
+  Rng rng(0x57A71C);
+  const std::string tokens[] = {"void ", "f",  "(",  ")",  "{", "}", ";", "int x",
+                                "return", "\"s\"", "//c\n", "/*", "*/", "=", "1"};
+  for (int i = 0; i < 200; ++i) {
+    std::string src;
+    std::size_t len = rng.next_below(60);
+    for (std::size_t t = 0; t < len; ++t) {
+      src += tokens[rng.next_below(std::size(tokens))];
+    }
+    EXPECT_NO_THROW(instrument::instrument_source(src, {"g"}));
+    EXPECT_NO_THROW(instrument::harvest_globals(src));
+  }
+}
+
+TEST(Robustness, ExtractionFromGarbageLogIsEmptyNotCrashy) {
+  Rng rng(4242);
+  Bytes junk = rng.next_bytes(4096);
+  std::string text(junk.begin(), junk.end());
+  extractor::Signatures sigs = extractor::ue_signatures(ue::StackProfile::cls());
+  fsm::Fsm m = extractor::extract(text, sigs, {});
+  EXPECT_TRUE(m.transitions().empty());
+}
+
+TEST(Robustness, TruncatedRealLogStillExtractsPrefix) {
+  instrument::TraceLogger trace;
+  testing::run_conformance(ue::StackProfile::cls(), trace);
+  std::string text = trace.text();
+  extractor::Signatures sigs = extractor::ue_signatures(ue::StackProfile::cls());
+  fsm::Fsm full = extractor::extract(text, sigs, {});
+  fsm::Fsm half = extractor::extract(text.substr(0, text.size() / 2), sigs, {});
+  EXPECT_GT(half.stats().transitions, 0u);
+  EXPECT_LE(half.stats().transitions, full.stats().transitions);
+}
+
+}  // namespace
+}  // namespace procheck
