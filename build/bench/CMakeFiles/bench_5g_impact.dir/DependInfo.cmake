@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_5g_impact.cc" "bench/CMakeFiles/bench_5g_impact.dir/bench_5g_impact.cc.o" "gcc" "bench/CMakeFiles/bench_5g_impact.dir/bench_5g_impact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nr/CMakeFiles/procheck_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/procheck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/procheck_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/procheck_instrument.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

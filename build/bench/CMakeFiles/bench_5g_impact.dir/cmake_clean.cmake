@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_5g_impact.dir/bench_5g_impact.cc.o"
+  "CMakeFiles/bench_5g_impact.dir/bench_5g_impact.cc.o.d"
+  "bench_5g_impact"
+  "bench_5g_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_5g_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blackbox_comparison.dir/bench_blackbox_comparison.cc.o"
+  "CMakeFiles/bench_blackbox_comparison.dir/bench_blackbox_comparison.cc.o.d"
+  "bench_blackbox_comparison"
+  "bench_blackbox_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blackbox_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

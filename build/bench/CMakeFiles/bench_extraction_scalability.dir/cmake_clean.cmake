@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extraction_scalability.dir/bench_extraction_scalability.cc.o"
+  "CMakeFiles/bench_extraction_scalability.dir/bench_extraction_scalability.cc.o.d"
+  "bench_extraction_scalability"
+  "bench_extraction_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extraction_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_discovery.dir/attack_discovery.cpp.o"
+  "CMakeFiles/attack_discovery.dir/attack_discovery.cpp.o.d"
+  "attack_discovery"
+  "attack_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

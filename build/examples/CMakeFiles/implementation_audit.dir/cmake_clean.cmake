@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implementation_audit.dir/implementation_audit.cpp.o"
+  "CMakeFiles/implementation_audit.dir/implementation_audit.cpp.o.d"
+  "implementation_audit"
+  "implementation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implementation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkability_analysis.dir/linkability_analysis.cpp.o"
+  "CMakeFiles/linkability_analysis.dir/linkability_analysis.cpp.o.d"
+  "linkability_analysis"
+  "linkability_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkability_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nas")
+subdirs("fsm")
+subdirs("instrument")
+subdirs("ue")
+subdirs("mme")
+subdirs("nr")
+subdirs("rrc")
+subdirs("testing")
+subdirs("extractor")
+subdirs("mc")
+subdirs("threat")
+subdirs("cpv")
+subdirs("checker")
+subdirs("learner")
+subdirs("cli")

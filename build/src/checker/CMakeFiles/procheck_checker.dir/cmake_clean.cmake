@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_checker.dir/baseline.cc.o"
+  "CMakeFiles/procheck_checker.dir/baseline.cc.o.d"
+  "CMakeFiles/procheck_checker.dir/cegar.cc.o"
+  "CMakeFiles/procheck_checker.dir/cegar.cc.o.d"
+  "CMakeFiles/procheck_checker.dir/prochecker.cc.o"
+  "CMakeFiles/procheck_checker.dir/prochecker.cc.o.d"
+  "CMakeFiles/procheck_checker.dir/property.cc.o"
+  "CMakeFiles/procheck_checker.dir/property.cc.o.d"
+  "CMakeFiles/procheck_checker.dir/report.cc.o"
+  "CMakeFiles/procheck_checker.dir/report.cc.o.d"
+  "libprocheck_checker.a"
+  "libprocheck_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

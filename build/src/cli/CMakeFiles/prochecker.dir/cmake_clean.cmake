@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prochecker.dir/main.cc.o"
+  "CMakeFiles/prochecker.dir/main.cc.o.d"
+  "prochecker"
+  "prochecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prochecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_common.dir/bytes.cc.o"
+  "CMakeFiles/procheck_common.dir/bytes.cc.o.d"
+  "CMakeFiles/procheck_common.dir/rng.cc.o"
+  "CMakeFiles/procheck_common.dir/rng.cc.o.d"
+  "CMakeFiles/procheck_common.dir/strings.cc.o"
+  "CMakeFiles/procheck_common.dir/strings.cc.o.d"
+  "CMakeFiles/procheck_common.dir/table.cc.o"
+  "CMakeFiles/procheck_common.dir/table.cc.o.d"
+  "libprocheck_common.a"
+  "libprocheck_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_cpv.dir/knowledge.cc.o"
+  "CMakeFiles/procheck_cpv.dir/knowledge.cc.o.d"
+  "CMakeFiles/procheck_cpv.dir/lte_crypto.cc.o"
+  "CMakeFiles/procheck_cpv.dir/lte_crypto.cc.o.d"
+  "CMakeFiles/procheck_cpv.dir/term.cc.o"
+  "CMakeFiles/procheck_cpv.dir/term.cc.o.d"
+  "libprocheck_cpv.a"
+  "libprocheck_cpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_cpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_extractor.dir/extractor.cc.o"
+  "CMakeFiles/procheck_extractor.dir/extractor.cc.o.d"
+  "libprocheck_extractor.a"
+  "libprocheck_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

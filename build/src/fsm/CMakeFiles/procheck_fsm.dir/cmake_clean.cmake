@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_fsm.dir/fsm.cc.o"
+  "CMakeFiles/procheck_fsm.dir/fsm.cc.o.d"
+  "CMakeFiles/procheck_fsm.dir/refinement.cc.o"
+  "CMakeFiles/procheck_fsm.dir/refinement.cc.o.d"
+  "libprocheck_fsm.a"
+  "libprocheck_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

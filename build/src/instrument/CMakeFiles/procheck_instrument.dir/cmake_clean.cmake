@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_instrument.dir/source_instrumentor.cc.o"
+  "CMakeFiles/procheck_instrument.dir/source_instrumentor.cc.o.d"
+  "CMakeFiles/procheck_instrument.dir/trace_log.cc.o"
+  "CMakeFiles/procheck_instrument.dir/trace_log.cc.o.d"
+  "libprocheck_instrument.a"
+  "libprocheck_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_learner.dir/lstar.cc.o"
+  "CMakeFiles/procheck_learner.dir/lstar.cc.o.d"
+  "CMakeFiles/procheck_learner.dir/sul.cc.o"
+  "CMakeFiles/procheck_learner.dir/sul.cc.o.d"
+  "libprocheck_learner.a"
+  "libprocheck_learner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_learner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_mc.dir/checker.cc.o"
+  "CMakeFiles/procheck_mc.dir/checker.cc.o.d"
+  "CMakeFiles/procheck_mc.dir/model.cc.o"
+  "CMakeFiles/procheck_mc.dir/model.cc.o.d"
+  "libprocheck_mc.a"
+  "libprocheck_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_mme.dir/mme_nas.cc.o"
+  "CMakeFiles/procheck_mme.dir/mme_nas.cc.o.d"
+  "libprocheck_mme.a"
+  "libprocheck_mme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_mme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

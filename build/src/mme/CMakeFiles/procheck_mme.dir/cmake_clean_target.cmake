@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprocheck_mme.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/crypto.cc" "src/nas/CMakeFiles/procheck_nas.dir/crypto.cc.o" "gcc" "src/nas/CMakeFiles/procheck_nas.dir/crypto.cc.o.d"
+  "/root/repo/src/nas/messages.cc" "src/nas/CMakeFiles/procheck_nas.dir/messages.cc.o" "gcc" "src/nas/CMakeFiles/procheck_nas.dir/messages.cc.o.d"
+  "/root/repo/src/nas/security_context.cc" "src/nas/CMakeFiles/procheck_nas.dir/security_context.cc.o" "gcc" "src/nas/CMakeFiles/procheck_nas.dir/security_context.cc.o.d"
+  "/root/repo/src/nas/sqn.cc" "src/nas/CMakeFiles/procheck_nas.dir/sqn.cc.o" "gcc" "src/nas/CMakeFiles/procheck_nas.dir/sqn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/procheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_nas.dir/crypto.cc.o"
+  "CMakeFiles/procheck_nas.dir/crypto.cc.o.d"
+  "CMakeFiles/procheck_nas.dir/messages.cc.o"
+  "CMakeFiles/procheck_nas.dir/messages.cc.o.d"
+  "CMakeFiles/procheck_nas.dir/security_context.cc.o"
+  "CMakeFiles/procheck_nas.dir/security_context.cc.o.d"
+  "CMakeFiles/procheck_nas.dir/sqn.cc.o"
+  "CMakeFiles/procheck_nas.dir/sqn.cc.o.d"
+  "libprocheck_nas.a"
+  "libprocheck_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_nr.dir/nr_stack.cc.o"
+  "CMakeFiles/procheck_nr.dir/nr_stack.cc.o.d"
+  "libprocheck_nr.a"
+  "libprocheck_nr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_nr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

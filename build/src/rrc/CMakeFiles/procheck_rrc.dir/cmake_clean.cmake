@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_rrc.dir/rrc_stack.cc.o"
+  "CMakeFiles/procheck_rrc.dir/rrc_stack.cc.o.d"
+  "libprocheck_rrc.a"
+  "libprocheck_rrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_rrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_testing.dir/conformance.cc.o"
+  "CMakeFiles/procheck_testing.dir/conformance.cc.o.d"
+  "CMakeFiles/procheck_testing.dir/replay.cc.o"
+  "CMakeFiles/procheck_testing.dir/replay.cc.o.d"
+  "CMakeFiles/procheck_testing.dir/testbed.cc.o"
+  "CMakeFiles/procheck_testing.dir/testbed.cc.o.d"
+  "libprocheck_testing.a"
+  "libprocheck_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threat/compose.cc" "src/threat/CMakeFiles/procheck_threat.dir/compose.cc.o" "gcc" "src/threat/CMakeFiles/procheck_threat.dir/compose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/procheck_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/procheck_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/procheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_threat.dir/compose.cc.o"
+  "CMakeFiles/procheck_threat.dir/compose.cc.o.d"
+  "libprocheck_threat.a"
+  "libprocheck_threat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

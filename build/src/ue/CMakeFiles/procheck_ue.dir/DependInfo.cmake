@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ue/emm_state.cc" "src/ue/CMakeFiles/procheck_ue.dir/emm_state.cc.o" "gcc" "src/ue/CMakeFiles/procheck_ue.dir/emm_state.cc.o.d"
+  "/root/repo/src/ue/profile.cc" "src/ue/CMakeFiles/procheck_ue.dir/profile.cc.o" "gcc" "src/ue/CMakeFiles/procheck_ue.dir/profile.cc.o.d"
+  "/root/repo/src/ue/ue_nas.cc" "src/ue/CMakeFiles/procheck_ue.dir/ue_nas.cc.o" "gcc" "src/ue/CMakeFiles/procheck_ue.dir/ue_nas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/procheck_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/procheck_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/procheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

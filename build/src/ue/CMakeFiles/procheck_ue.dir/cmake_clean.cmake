@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procheck_ue.dir/emm_state.cc.o"
+  "CMakeFiles/procheck_ue.dir/emm_state.cc.o.d"
+  "CMakeFiles/procheck_ue.dir/profile.cc.o"
+  "CMakeFiles/procheck_ue.dir/profile.cc.o.d"
+  "CMakeFiles/procheck_ue.dir/ue_nas.cc.o"
+  "CMakeFiles/procheck_ue.dir/ue_nas.cc.o.d"
+  "libprocheck_ue.a"
+  "libprocheck_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procheck_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

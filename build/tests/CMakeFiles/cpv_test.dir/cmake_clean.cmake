@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpv_test.dir/cpv_test.cc.o"
+  "CMakeFiles/cpv_test.dir/cpv_test.cc.o.d"
+  "cpv_test"
+  "cpv_test.pdb"
+  "cpv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

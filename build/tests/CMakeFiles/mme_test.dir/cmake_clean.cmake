@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mme_test.dir/mme_test.cc.o"
+  "CMakeFiles/mme_test.dir/mme_test.cc.o.d"
+  "mme_test"
+  "mme_test.pdb"
+  "mme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_crypto_test.dir/nas_crypto_test.cc.o"
+  "CMakeFiles/nas_crypto_test.dir/nas_crypto_test.cc.o.d"
+  "nas_crypto_test"
+  "nas_crypto_test.pdb"
+  "nas_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

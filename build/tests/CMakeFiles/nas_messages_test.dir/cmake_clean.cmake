@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_messages_test.dir/nas_messages_test.cc.o"
+  "CMakeFiles/nas_messages_test.dir/nas_messages_test.cc.o.d"
+  "nas_messages_test"
+  "nas_messages_test.pdb"
+  "nas_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

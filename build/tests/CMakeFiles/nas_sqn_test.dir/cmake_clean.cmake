@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_sqn_test.dir/nas_sqn_test.cc.o"
+  "CMakeFiles/nas_sqn_test.dir/nas_sqn_test.cc.o.d"
+  "nas_sqn_test"
+  "nas_sqn_test.pdb"
+  "nas_sqn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_sqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nr_test.dir/nr_test.cc.o"
+  "CMakeFiles/nr_test.dir/nr_test.cc.o.d"
+  "nr_test"
+  "nr_test.pdb"
+  "nr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_test.dir/threat_test.cc.o"
+  "CMakeFiles/threat_test.dir/threat_test.cc.o.d"
+  "threat_test"
+  "threat_test.pdb"
+  "threat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

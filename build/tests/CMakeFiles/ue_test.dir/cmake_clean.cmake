@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ue_test.dir/ue_test.cc.o"
+  "CMakeFiles/ue_test.dir/ue_test.cc.o.d"
+  "ue_test"
+  "ue_test.pdb"
+  "ue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_sqn_test[1]_include.cmake")
+include("/root/repo/build/tests/security_context_test[1]_include.cmake")
+include("/root/repo/build/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build/tests/fsm_test[1]_include.cmake")
+include("/root/repo/build/tests/ue_test[1]_include.cmake")
+include("/root/repo/build/tests/mme_test[1]_include.cmake")
+include("/root/repo/build/tests/nr_test[1]_include.cmake")
+include("/root/repo/build/tests/rrc_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/extractor_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_test[1]_include.cmake")
+include("/root/repo/build/tests/threat_test[1]_include.cmake")
+include("/root/repo/build/tests/cpv_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+add_test(checker_test "/root/repo/build/tests/checker_test")
+set_tests_properties(checker_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;38;procheck_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(report_test "/root/repo/build/tests/report_test")
+set_tests_properties(report_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;39;procheck_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(replay_test "/root/repo/build/tests/replay_test")
+set_tests_properties(replay_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;40;procheck_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(learner_test "/root/repo/build/tests/learner_test")
+set_tests_properties(learner_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;41;procheck_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;42;procheck_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
