@@ -47,6 +47,16 @@ PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_
     ++result.iterations;
     mc::CheckOptions mc_options;
     mc_options.max_states = options.max_states;
+    if (options.max_seconds > 0) {
+      const double remaining = options.max_seconds - result.total_seconds;
+      if (remaining <= 0) {
+        result.status = PropertyResult::Status::kInconclusive;
+        result.note = "wall-clock budget exhausted (" + std::to_string(options.max_seconds) +
+                      "s) before iteration " + std::to_string(result.iterations);
+        return result;
+      }
+      mc_options.max_seconds = remaining;
+    }
     if (!banned.empty()) {
       mc_options.allowed = [&banned](const mc::State&, const mc::Command& cmd,
                                      const mc::State&) {
@@ -63,6 +73,16 @@ PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_
     result.total_seconds += stats.seconds;
 
     if (!cex) {
+      if (stats.truncated()) {
+        // The search stopped at a budget without finding a violation: the
+        // unexplored remainder may still hold one, so this is not a verdict.
+        result.status = PropertyResult::Status::kInconclusive;
+        result.note = std::string("search budget exhausted (") +
+                      (stats.bound_hit ? "state bound" : "wall-clock deadline") + " after " +
+                      std::to_string(stats.states_explored) +
+                      " states); no counterexample found in the explored fragment";
+        return result;
+      }
       result.status = PropertyResult::Status::kVerified;
       result.note = banned.empty() ? "verified" : "verified after CEGAR refinement";
       return result;
@@ -105,11 +125,12 @@ PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_
     return result;
   }
 
-  // Refinement did not converge within the iteration budget — report the
-  // property as verified-with-caveat (all produced counterexamples were
-  // spurious).
-  result.status = PropertyResult::Status::kVerified;
-  result.note = "refinement budget exhausted; all counterexamples were spurious";
+  // Refinement did not converge within the iteration budget. Every produced
+  // counterexample was spurious, but the refined model was never fully
+  // re-verified — that is inconclusive, not verified.
+  result.status = PropertyResult::Status::kInconclusive;
+  result.note = "CEGAR iteration budget exhausted (" + std::to_string(options.max_iterations) +
+                " iterations); all counterexamples so far were spurious";
   return result;
 }
 

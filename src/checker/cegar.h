@@ -25,7 +25,10 @@
 namespace procheck::checker {
 
 struct PropertyResult {
-  enum class Status { kVerified, kAttack, kNotApplicable };
+  /// kInconclusive: a search budget (state bound, wall-clock deadline, or
+  /// the CEGAR iteration cap) stopped verification before a conclusion —
+  /// explicitly NOT "verified"; `note` carries the exhausted budget.
+  enum class Status { kVerified, kAttack, kNotApplicable, kInconclusive };
   Status status = Status::kVerified;
   std::string property_id;
   std::string attack_id;  // from the property definition
@@ -43,8 +46,15 @@ struct PropertyResult {
 };
 
 struct CegarOptions {
-  std::size_t max_states = 400000;
+  /// Sized so every catalog property's reachable fragment is fully explored
+  /// on every profile (srsue/S20 needs >400k states): at the default budget
+  /// no search truncates, so kInconclusive only appears under explicitly
+  /// tightened budgets.
+  std::size_t max_states = 1'000'000;
   int max_iterations = 16;
+  /// Total wall-clock budget (seconds) across all MC iterations of one
+  /// property; 0 = unbounded. Each iteration gets the remaining slice.
+  double max_seconds = 0.0;
 };
 
 /// Runs the full MC ⇄ CPV loop for one property. `ue_fsm` is the extracted

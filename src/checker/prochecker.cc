@@ -30,6 +30,14 @@ int ImplementationReport::not_applicable_count() const {
   return n;
 }
 
+int ImplementationReport::inconclusive_count() const {
+  int n = 0;
+  for (const PropertyResult& r : results) {
+    n += r.status == PropertyResult::Status::kInconclusive ? 1 : 0;
+  }
+  return n;
+}
+
 threat::ThreatModel ProChecker::build_threat_model(const fsm::Fsm& ue_fsm) {
   return threat::compose(ue_fsm, lteinspector_mme_model());
 }
@@ -68,6 +76,7 @@ ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
   CegarOptions cegar;
   cegar.max_states = options.max_states;
   cegar.max_iterations = options.max_cegar_iterations;
+  cegar.max_seconds = options.max_seconds_per_property;
 
   for (const PropertyDef& prop : property_catalog()) {
     if (!options.only_properties.empty() && options.only_properties.count(prop.id) == 0) {

@@ -22,9 +22,13 @@
 namespace procheck::checker {
 
 struct AnalysisOptions {
-  /// Explicit-state budget per MC run.
-  std::size_t max_states = 400000;
+  /// Explicit-state budget per MC run (see CegarOptions::max_states: large
+  /// enough that no default-budget search truncates on any profile).
+  std::size_t max_states = 1'000'000;
   int max_cegar_iterations = 16;
+  /// Wall-clock budget (seconds) per property across its CEGAR iterations;
+  /// 0 = unbounded. Exhaustion yields Status::kInconclusive, never blowup.
+  double max_seconds_per_property = 0.0;
   /// Restrict to properties whose id is in this set (empty = all 62).
   std::set<std::string> only_properties;
 };
@@ -46,6 +50,7 @@ struct ImplementationReport {
   int verified_count() const;
   int attack_count() const;
   int not_applicable_count() const;
+  int inconclusive_count() const;
 };
 
 class ProChecker {

@@ -12,6 +12,8 @@ std::string to_string(PropertyResult::Status status) {
       return "ATTACK";
     case PropertyResult::Status::kNotApplicable:
       return "n/a";
+    case PropertyResult::Status::kInconclusive:
+      return "INCONCLUSIVE";
   }
   return "?";
 }
@@ -44,8 +46,11 @@ std::string render_report(const ImplementationReport& report, const ReportOption
 
   out << "## Verdicts\n\n"
       << "- " << report.verified_count() << " verified, " << report.attack_count()
-      << " attacks, " << report.not_applicable_count() << " not applicable\n"
-      << "- Table I rows detected:";
+      << " attacks, " << report.not_applicable_count() << " not applicable";
+  if (report.inconclusive_count() > 0) {
+    out << ", " << report.inconclusive_count() << " INCONCLUSIVE (budget exhausted)";
+  }
+  out << "\n- Table I rows detected:";
   for (const std::string& id : report.attacks_found) out << " " << id;
   out << "\n\n## Findings\n\n";
 
@@ -54,7 +59,10 @@ std::string render_report(const ImplementationReport& report, const ReportOption
                              : threat::ThreatModel{};
   for (const PropertyResult& r : report.results) {
     bool is_attack = r.status == PropertyResult::Status::kAttack;
-    if (!is_attack && !options.include_verified) continue;
+    // Inconclusive results are findings too: the analyst must either raise
+    // the budget or treat the property as unassessed.
+    bool interesting = is_attack || r.status == PropertyResult::Status::kInconclusive;
+    if (!interesting && !options.include_verified) continue;
     out << "### " << r.property_id << " — " << to_string(r.status);
     if (!r.attack_id.empty()) out << " [" << r.attack_id << "]";
     out << "\n\n" << r.note << "\n";

@@ -14,6 +14,10 @@
 //           [--freshness-limit <L>]
 //       The end-to-end 62-property analysis; prints verdicts and attack
 //       traces.
+//   chaos --profile <cls|srsue|oai> [--intensity <p>]
+//       Re-runs the conformance suite under each fault-injection regime and
+//       reports degradation vs the fault-free baseline.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -22,9 +26,11 @@
 #include <vector>
 
 #include "checker/prochecker.h"
+#include "checker/report.h"
 #include "common/strings.h"
 #include "extractor/extractor.h"
 #include "instrument/source_instrumentor.h"
+#include "testing/chaos.h"
 #include "testing/conformance.h"
 
 namespace {
@@ -33,12 +39,14 @@ using namespace procheck;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: prochecker <instrument|conformance|extract|analyze> [options]\n"
+               "usage: prochecker <instrument|conformance|extract|analyze|chaos> [options]\n"
                "  instrument <source-file> [--header <header-file>]\n"
                "  conformance --profile <cls|srsue|oai> [--log <file>]\n"
-               "  extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]\n"
+               "  extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]"
+               " [--recovery]\n"
                "  analyze --profile <cls|srsue|oai> [--properties <ids>]"
-               " [--freshness-limit <L>]\n");
+               " [--freshness-limit <L>] [--max-states <N>] [--budget-seconds <S>]\n"
+               "  chaos --profile <cls|srsue|oai> [--intensity <p>]\n");
   return 2;
 }
 
@@ -67,7 +75,8 @@ struct Args {
       std::string a = argv[i];
       if (starts_with(a, "--")) {
         std::string key = a.substr(2);
-        if (key == "dot" || key == "basic" || key == "traces" || key == "dot-traces") {
+        if (key == "dot" || key == "basic" || key == "traces" || key == "dot-traces" ||
+            key == "recovery") {
           args.options[key] = "1";
         } else if (i + 1 < argc) {
           args.options[key] = argv[++i];
@@ -85,6 +94,34 @@ struct Args {
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
+
+// Numeric option parsing: a malformed value is a usage error, not a crash.
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    std::uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(text, &pos);
+    if (pos != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+int bad_option(const char* flag, const std::string& value) {
+  std::fprintf(stderr, "invalid value for --%s: '%s'\n", flag, value.c_str());
+  return 2;
+}
 
 int cmd_instrument(const Args& args) {
   if (args.positional.empty()) return usage();
@@ -149,10 +186,28 @@ int cmd_extract(const Args& args) {
   extractor::ExtractionOptions opts;
   opts.initial_state = "EMM_DEREGISTERED";
   opts.chain_substates = !args.has("basic");
+  extractor::ExtractionDiagnostics diag;
+  if (args.has("recovery")) {
+    opts.recovery = true;
+    opts.diagnostics = &diag;
+  }
+  instrument::ParseStats parse_stats;
+  std::vector<instrument::LogRecord> records = instrument::parse_log(log_text, &parse_stats);
   fsm::Fsm m = args.has("basic")
-                   ? extractor::extract_basic(instrument::parse_log(log_text),
-                                              extractor::ue_signatures(*profile), opts)
-                   : extractor::extract(log_text, extractor::ue_signatures(*profile), opts);
+                   ? extractor::extract_basic(records, extractor::ue_signatures(*profile), opts)
+                   : extractor::extract(records, extractor::ue_signatures(*profile), opts);
+  if (args.has("recovery")) {
+    std::fprintf(stderr,
+                 "parse: %zu lines, %zu records, %zu skipped, %zu truncated\n"
+                 "blocks: %zu total, %zu extracted, %zu quarantined\n",
+                 parse_stats.lines, parse_stats.records, parse_stats.skipped,
+                 parse_stats.truncated, diag.blocks_total, diag.blocks_extracted,
+                 diag.quarantined.size());
+    for (const auto& q : diag.quarantined) {
+      std::fprintf(stderr, "  quarantined block %zu (%s): %s\n", q.block_index,
+                   q.incoming.c_str(), q.reason.c_str());
+    }
+  }
   if (args.has("dot")) {
     std::printf("%s", m.to_dot("ue_" + profile->name).c_str());
     return 0;
@@ -170,9 +225,21 @@ int cmd_analyze(const Args& args) {
   auto profile = profile_by_name(args.get("profile"));
   if (!profile) return usage();
   if (args.has("freshness-limit")) {
-    profile->sqn_freshness_limit = std::stoull(args.get("freshness-limit"));
+    auto v = parse_u64(args.get("freshness-limit"));
+    if (!v) return bad_option("freshness-limit", args.get("freshness-limit"));
+    profile->sqn_freshness_limit = *v;
   }
   checker::AnalysisOptions options;
+  if (args.has("max-states")) {
+    auto v = parse_u64(args.get("max-states"));
+    if (!v) return bad_option("max-states", args.get("max-states"));
+    options.max_states = *v;
+  }
+  if (args.has("budget-seconds")) {
+    auto v = parse_double(args.get("budget-seconds"));
+    if (!v || *v < 0) return bad_option("budget-seconds", args.get("budget-seconds"));
+    options.max_seconds_per_property = *v;
+  }
   if (args.has("properties")) {
     for (const std::string& id : split(args.get("properties"), ',')) {
       options.only_properties.insert(std::string(trim(id)));
@@ -182,10 +249,8 @@ int cmd_analyze(const Args& args) {
   threat::ThreatModel tm = checker::ProChecker::build_threat_model(rep.checking_model);
 
   for (const checker::PropertyResult& r : rep.results) {
-    const char* status = r.status == checker::PropertyResult::Status::kAttack       ? "ATTACK"
-                         : r.status == checker::PropertyResult::Status::kVerified   ? "verified"
-                                                                                    : "n/a";
-    std::printf("%-4s %-8s %-5s %s\n", r.property_id.c_str(), status,
+    std::printf("%-4s %-12s %-5s %s\n", r.property_id.c_str(),
+                checker::to_string(r.status).c_str(),
                 r.attack_id.empty() ? "-" : r.attack_id.c_str(), r.note.c_str());
     if (r.counterexample && args.has("traces")) {
       std::printf("%s", r.counterexample->render(tm.model).c_str());
@@ -194,12 +259,39 @@ int cmd_analyze(const Args& args) {
       std::printf("%s", r.counterexample->to_dot(tm.model).c_str());
     }
   }
-  std::printf("\n%s: %d verified, %d attacks, %d n/a | Table I rows: ",
+  std::printf("\n%s: %d verified, %d attacks, %d n/a, %d inconclusive | Table I rows: ",
               rep.profile_name.c_str(), rep.verified_count(), rep.attack_count(),
-              rep.not_applicable_count());
+              rep.not_applicable_count(), rep.inconclusive_count());
   for (const std::string& id : rep.attacks_found) std::printf("%s ", id.c_str());
   std::printf("\n");
   return 0;
+}
+
+int cmd_chaos(const Args& args) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+  double intensity = 0.1;
+  if (args.has("intensity")) {
+    auto v = parse_double(args.get("intensity"));
+    if (!v || *v < 0 || *v > 1) return bad_option("intensity", args.get("intensity"));
+    intensity = *v;
+  }
+
+  std::vector<testing::ChaosReport> reports = testing::run_chaos_matrix(*profile, intensity);
+  bool all_explained = true;
+  for (const testing::ChaosReport& rep : reports) {
+    std::printf("%-14s %2d/%2d passed (baseline %2d/%2d), %zu channel faults, FSM %s%s\n",
+                rep.regime.c_str(), rep.chaos.passed(), rep.chaos.total(),
+                rep.baseline.passed(), rep.baseline.total(), rep.channel.total_faults(),
+                rep.fsm_identical ? "identical" : "DIVERGED",
+                rep.degraded() ? (rep.explained() ? " [degraded, diagnosed]" : " [UNEXPLAINED]")
+                               : "");
+    for (const std::string& d : rep.diagnostics) std::printf("    %s\n", d.c_str());
+    all_explained = all_explained && rep.explained();
+  }
+  std::printf("%zu regimes, %s\n", reports.size(),
+              all_explained ? "all degradations diagnosed" : "UNEXPLAINED degradation");
+  return all_explained ? 0 : 1;
 }
 
 }  // namespace
@@ -212,5 +304,6 @@ int main(int argc, char** argv) {
   if (cmd == "conformance") return cmd_conformance(args);
   if (cmd == "extract") return cmd_extract(args);
   if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   return usage();
 }

@@ -37,7 +37,15 @@ struct Block {
     std::string value;  // state name / action name / "name=value" atom
   };
   std::vector<Event> events;
+  // Values a state variable held that are not state signatures (corrupt or
+  // truncated log content); non-empty quarantines the block in recovery mode.
+  std::vector<std::string> corrupt_values;
 };
+
+bool is_state_variable(const std::string& name, const Signatures& sigs) {
+  return std::find(sigs.state_variables.begin(), sigs.state_variables.end(), name) !=
+         sigs.state_variables.end();
+}
 
 std::vector<Block> divide_blocks(const std::vector<instrument::LogRecord>& records,
                                  const Signatures& sigs) {
@@ -65,6 +73,9 @@ std::vector<Block> divide_blocks(const std::vector<instrument::LogRecord>& recor
         if (current && is_state_value(rec.value, sigs) && rec.value != last_state) {
           current->events.push_back({Block::Event::Kind::kState, rec.value});
           last_state = rec.value;
+        } else if (current && !is_state_value(rec.value, sigs) &&
+                   is_state_variable(rec.name, sigs)) {
+          current->corrupt_values.push_back(rec.value);
         }
         break;
       case instrument::LogRecord::Kind::kLocal:
@@ -91,6 +102,38 @@ void set_initial(fsm::Fsm& out, const ExtractionOptions& options,
   }
 }
 
+/// Per-extraction quarantine bookkeeping around the block loop.
+class BlockTriage {
+ public:
+  explicit BlockTriage(const ExtractionOptions& options) : diag_(options.diagnostics) {
+    if (diag_) *diag_ = {};
+  }
+
+  /// Called once per divided block; returns true when recovery mode
+  /// quarantines it (corrupt state-variable content).
+  bool quarantines(const Block& block, bool recovery) {
+    if (diag_) ++diag_->blocks_total;
+    if (recovery && !block.corrupt_values.empty()) {
+      note(block, "unrecognized state value '" + block.corrupt_values.front() + "'");
+      return true;
+    }
+    return false;
+  }
+
+  void note_no_state(const Block& block) { note(block, "no state observation (truncated log?)"); }
+  void note_extracted() {
+    if (diag_) ++diag_->blocks_extracted;
+  }
+
+ private:
+  void note(const Block& block, std::string reason) {
+    if (!diag_) return;
+    diag_->quarantined.push_back({diag_->blocks_total - 1, block.incoming, std::move(reason)});
+  }
+
+  ExtractionDiagnostics* diag_;
+};
+
 }  // namespace
 
 Signatures ue_signatures(const ue::StackProfile& profile) {
@@ -98,6 +141,7 @@ Signatures ue_signatures(const ue::StackProfile& profile) {
   for (std::string_view s : ue::kUeStateNames) sigs.state_signatures.emplace_back(s);
   sigs.incoming_prefixes = {profile.recv_prefix};
   sigs.outgoing_prefixes = {profile.send_prefix};
+  sigs.state_variables = {"emm_state"};
   return sigs;
 }
 
@@ -106,6 +150,7 @@ Signatures mme_signatures() {
   for (std::string_view s : mme::kMmeStateNames) sigs.state_signatures.emplace_back(s);
   sigs.incoming_prefixes = {"recv_"};
   sigs.outgoing_prefixes = {"send_"};
+  sigs.state_variables = {"mme_state"};
   return sigs;
 }
 
@@ -115,8 +160,10 @@ fsm::Fsm extract(const std::vector<instrument::LogRecord>& records, const Signat
 
   fsm::Fsm out;
   std::string first_observed;
+  BlockTriage triage(options);
 
   for (const Block& block : divide_blocks(records, sigs)) {
+    if (triage.quarantines(block, options.recovery)) continue;
     // Segment the block's ordered events at state observations. Each
     // segment i (from state s_i to state s_{i+1}) yields one transition;
     // locals and actions attach to the segment they occurred in.
@@ -124,7 +171,11 @@ fsm::Fsm extract(const std::vector<instrument::LogRecord>& records, const Signat
     for (const Block::Event& e : block.events) {
       if (e.kind == Block::Event::Kind::kState) states.push_back(e.value);
     }
-    if (states.empty()) continue;
+    if (states.empty()) {
+      triage.note_no_state(block);
+      continue;
+    }
+    triage.note_extracted();
     if (first_observed.empty()) first_observed = states.front();
 
     if (states.size() == 1) {
@@ -196,8 +247,10 @@ fsm::Fsm extract_basic(const std::vector<instrument::LogRecord>& records,
                        const Signatures& sigs, const ExtractionOptions& options) {
   fsm::Fsm out;
   std::string first_observed;
+  BlockTriage triage(options);
 
   for (const Block& block : divide_blocks(records, sigs)) {
+    if (triage.quarantines(block, options.recovery)) continue;
     fsm::Transition t;
     bool have_state = false;
     for (const Block::Event& e : block.events) {
@@ -220,7 +273,11 @@ fsm::Fsm extract_basic(const std::vector<instrument::LogRecord>& records,
           break;
       }
     }
-    if (!have_state) continue;
+    if (!have_state) {
+      triage.note_no_state(block);
+      continue;
+    }
+    triage.note_extracted();
     if (first_observed.empty()) first_observed = t.from;
     t.conditions.insert(block.incoming);
     if (t.actions.empty()) t.actions.insert(fsm::kNullAction);  // lines 20-21

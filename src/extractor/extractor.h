@@ -36,6 +36,11 @@ struct Signatures {
   std::vector<std::string> state_signatures;
   std::vector<std::string> incoming_prefixes;
   std::vector<std::string> outgoing_prefixes;
+  /// Names of the globals that hold the machine state (e.g. "emm_state").
+  /// A [GLOBAL] record for one of these whose value is *not* a state
+  /// signature marks its block as corrupt — the recovery mode's detector
+  /// for bit-flipped or truncated log content. Empty disables the check.
+  std::vector<std::string> state_variables;
 };
 
 /// Signature table for a UE stack profile: the TS 24.301 state names plus
@@ -45,6 +50,20 @@ Signatures ue_signatures(const ue::StackProfile& profile);
 /// Signature table for the MME layer (recv_/send_ and MME state names).
 Signatures mme_signatures();
 
+/// Where malformed log blocks end up instead of the model: the extractor's
+/// answer to noisy observations (a mis-extracted transition would silently
+/// poison every downstream verdict; a quarantined block is visible).
+struct ExtractionDiagnostics {
+  struct Quarantined {
+    std::size_t block_index = 0;  // position in division order
+    std::string incoming;         // the block's incoming message name
+    std::string reason;
+  };
+  std::vector<Quarantined> quarantined;
+  std::size_t blocks_total = 0;
+  std::size_t blocks_extracted = 0;
+};
+
 struct ExtractionOptions {
   /// false reproduces the literal Algorithm 1 (no substate chaining, no
   /// predicate conditions).
@@ -53,6 +72,14 @@ struct ExtractionOptions {
   bool include_condition_locals = true;
   /// Initial FSM state s0; empty = the first state observed in the log.
   std::string initial_state;
+  /// Recovery mode: quarantine blocks whose state variable carries an
+  /// unrecognized value (see Signatures::state_variables) instead of
+  /// extracting transitions from them. Off by default — pristine logs
+  /// extract identically either way.
+  bool recovery = false;
+  /// When non-null, receives the quarantine list and block accounting
+  /// (reset at the start of every extraction). Not owned.
+  ExtractionDiagnostics* diagnostics = nullptr;
 };
 
 fsm::Fsm extract(const std::vector<instrument::LogRecord>& records, const Signatures& sigs,

@@ -25,36 +25,47 @@ std::string render(const LogRecord& rec) {
   return {};
 }
 
-std::vector<LogRecord> parse_log(std::string_view text) {
+std::vector<LogRecord> parse_log(std::string_view text, ParseStats* stats) {
+  ParseStats accounting;
   std::vector<LogRecord> out;
   for (const std::string& raw : split_lines(text)) {
+    ++accounting.lines;
     std::string_view line = trim(raw);
     LogRecord rec;
     std::string_view rest;
-    if (starts_with(line, kEnterTag)) {
-      rec.kind = LogRecord::Kind::kEnter;
-      rest = trim(line.substr(kEnterTag.size()));
+    if (starts_with(line, kEnterTag) || starts_with(line, kTestTag)) {
+      const bool is_enter = starts_with(line, kEnterTag);
+      rec.kind = is_enter ? LogRecord::Kind::kEnter : LogRecord::Kind::kTestCase;
+      rest = trim(line.substr(is_enter ? kEnterTag.size() : kTestTag.size()));
+      if (rest.empty()) {
+        // The tag survived but the name was cut off mid-line.
+        ++accounting.truncated;
+        continue;
+      }
       rec.name = std::string(rest);
       out.push_back(std::move(rec));
-      continue;
-    }
-    if (starts_with(line, kTestTag)) {
-      rec.kind = LogRecord::Kind::kTestCase;
-      rec.name = std::string(trim(line.substr(kTestTag.size())));
-      out.push_back(std::move(rec));
+      ++accounting.records;
       continue;
     }
     bool global = starts_with(line, kGlobalTag);
     bool local = starts_with(line, kLocalTag);
-    if (!global && !local) continue;  // tolerate interleaved output
+    if (!global && !local) {
+      ++accounting.skipped;  // tolerate interleaved output
+      continue;
+    }
     rec.kind = global ? LogRecord::Kind::kGlobal : LogRecord::Kind::kLocal;
     rest = trim(line.substr(global ? kGlobalTag.size() : kLocalTag.size()));
     std::size_t eq = rest.find('=');
-    if (eq == std::string_view::npos) continue;
+    if (eq == std::string_view::npos) {
+      ++accounting.truncated;
+      continue;
+    }
     rec.name = std::string(trim(rest.substr(0, eq)));
     rec.value = std::string(trim(rest.substr(eq + 1)));
     out.push_back(std::move(rec));
+    ++accounting.records;
   }
+  if (stats) *stats = accounting;
   return out;
 }
 

@@ -31,10 +31,24 @@ struct LogRecord {
 /// Renders one record in the canonical text dialect.
 std::string render(const LogRecord& rec);
 
+/// Per-parse accounting: how much of the input survived as records and how
+/// much was shed — the raw material of the extractor's recovery diagnostics.
+struct ParseStats {
+  std::size_t lines = 0;      // input lines seen (including blank ones)
+  std::size_t records = 0;    // records successfully parsed
+  std::size_t skipped = 0;    // untagged lines (interleaved foreign output)
+  std::size_t truncated = 0;  // tagged lines cut mid-record (no '='/no name)
+
+  bool operator==(const ParseStats&) const = default;
+};
+
 /// Parses a full log text back into records. Unrecognized lines are skipped
 /// (real conformance logs interleave unrelated output; the extractor must
-/// tolerate that).
-std::vector<LogRecord> parse_log(std::string_view text);
+/// tolerate that), and tagged-but-truncated lines — a [GLOBAL]/[LOCAL]
+/// missing its '=', an [ENTER]/[TEST] missing its name — are dropped rather
+/// than turned into corrupt records. `stats`, when non-null, receives the
+/// accounting.
+std::vector<LogRecord> parse_log(std::string_view text, ParseStats* stats = nullptr);
 
 /// Runtime sink the instrumented stacks write to while the conformance
 /// suite executes.

@@ -117,6 +117,10 @@ std::optional<CounterExample> bfs_search(
 
   std::optional<CounterExample> result;
   while (!queue.empty() && !result) {
+    if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
+      if (stats) stats->deadline_hit = true;
+      break;
+    }
     std::int64_t at = queue.front();
     queue.pop_front();
     State current = states[at];  // copy: `states` may reallocate in the callback
@@ -225,6 +229,10 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
   add_node(model_.initial(), false, -1, {}, {});
 
   while (!queue.empty()) {
+    if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
+      if (stats) stats->deadline_hit = true;
+      break;
+    }
     std::int64_t at = queue.front();
     queue.pop_front();
     const State current = nodes[at].state;
@@ -255,6 +263,10 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
   // Cycle detection restricted to pending=true nodes (iterative DFS).
   std::vector<std::uint8_t> color(nodes.size(), 0);  // 0 white, 1 grey, 2 black
   for (std::int64_t root = 0; root < static_cast<std::int64_t>(nodes.size()); ++root) {
+    if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
+      if (stats) stats->deadline_hit = true;
+      break;
+    }
     if (!nodes[root].pending || color[root] != 0) continue;
     struct Frame {
       std::int64_t node;

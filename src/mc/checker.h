@@ -41,7 +41,12 @@ struct CheckStats {
   std::size_t states_explored = 0;
   std::size_t edges_explored = 0;
   double seconds = 0.0;
-  bool bound_hit = false;  // exploration stopped at max_states
+  bool bound_hit = false;     // exploration stopped at max_states
+  bool deadline_hit = false;  // exploration stopped at max_seconds
+
+  /// True when the search stopped early: absence of a counterexample then
+  /// means "not found within budget", not "verified".
+  bool truncated() const { return bound_hit || deadline_hit; }
 };
 
 /// Edge predicate over (pre-state, command, post-state).
@@ -49,6 +54,9 @@ using EdgePred = std::function<bool(const State&, const Command&, const State&)>
 
 struct CheckOptions {
   std::size_t max_states = 2'000'000;
+  /// Wall-clock budget in seconds; 0 = unbounded. Exploration stops (with
+  /// stats->deadline_hit) once exceeded — a guardrail, not a fairness bound.
+  double max_seconds = 0.0;
   /// When set, edges for which this returns false are pruned (CEGAR
   /// refinement of the threat model).
   EdgePred allowed;

@@ -132,7 +132,9 @@ Outgoing MmeNas::make_authentication_request(int conn_id) {
   req.set_b("autn", autn.encode());
   s.state = MmeState::kCommonProcedureInitiated;
   trace_state(conn_id);
-  return send_plain(conn_id, std::move(req));
+  Outgoing out = send_plain(conn_id, std::move(req));
+  s.challenge = out.pdu;
+  return out;
 }
 
 // --- Uplink routing ----------------------------------------------------------
@@ -219,7 +221,7 @@ std::vector<Outgoing> MmeNas::handle_uplink(int conn_id, const NasPdu& pdu) {
 // --- Incoming handlers -------------------------------------------------------
 
 std::vector<Outgoing> MmeNas::recv_attach_request(int conn_id, const NasMessage& msg,
-                                                  const NasPdu&, bool was_protected) {
+                                                  const NasPdu& pdu, bool was_protected) {
   trace_enter("recv_attach_request");
   Session& s = session(conn_id);
   const std::string identity = msg.get_s("identity");
@@ -238,8 +240,21 @@ std::vector<Outgoing> MmeNas::recv_attach_request(int conn_id, const NasMessage&
     return {out};
   }
 
+  if (!was_protected && s.state == MmeState::kCommonProcedureInitiated && s.challenge &&
+      pdu.payload == s.attach_payload) {
+    // A byte-identical copy of the attach_request whose AKA run is still
+    // outstanding: a channel duplicate/retransmission, not a new attach.
+    // Re-send the pending challenge verbatim rather than resetting the run
+    // (which would livelock against a UE answering the superseded
+    // challenge). Any differing attach_request falls through and restarts.
+    trace_local("retransmission", 1);
+    trace_state(conn_id);
+    return {Outgoing{conn_id, *s.challenge}};
+  }
+
   // Fresh attach: identify the subscriber, then authenticate.
   s = Session{};
+  s.attach_payload = pdu.payload;
   if (hss_.count(identity) > 0) {
     s.imsi = identity;
   } else {

@@ -117,6 +117,13 @@ class MmeNas {
     Bytes rand;
     std::uint64_t xres = 0;
     std::uint64_t kasme = 0;
+    // Encoded authentication_request of the outstanding run — re-sent
+    // verbatim when the *byte-identical* attach_request that started it
+    // arrives again (a duplicating/retransmitting channel), instead of
+    // restarting the AKA. A differing attach_request (new identity bytes,
+    // new capabilities — e.g. a genuine re-attach) always restarts.
+    std::optional<nas::NasPdu> challenge;
+    Bytes attach_payload;  // payload of the attach_request that started it
     std::optional<PendingCommand> pending;
     int guti_serial = 0;
   };

@@ -1,0 +1,108 @@
+#include "testing/chaos.h"
+
+#include <map>
+
+#include "extractor/extractor.h"
+
+namespace procheck::testing {
+
+std::vector<ChaosRegime> chaos_regimes(double intensity, std::uint64_t seed) {
+  auto make = [&](const std::string& name, FaultProfile profile,
+                  std::uint64_t salt) {
+    ChannelConfig config;
+    config.downlink = profile;
+    config.uplink = profile;
+    config.seed = splitmix64(seed ^ salt);
+    return ChaosRegime{name, config};
+  };
+  FaultProfile drop_only;
+  drop_only.drop = intensity;
+  FaultProfile duplicate_only;
+  duplicate_only.duplicate = intensity;
+  FaultProfile reorder_only;
+  reorder_only.reorder = intensity;
+  FaultProfile delay_only;
+  delay_only.delay = intensity;
+  FaultProfile corrupt_only;
+  corrupt_only.corrupt = intensity;
+  FaultProfile combined;
+  combined.drop = intensity / 2;
+  combined.duplicate = intensity / 2;
+  combined.reorder = intensity / 2;
+  combined.delay = intensity / 2;
+  combined.corrupt = intensity / 2;
+  return {
+      make("drop-only", drop_only, 0xD801),
+      make("duplicate-only", duplicate_only, 0xD0B2),
+      make("reorder-only", reorder_only, 0x0EA3),
+      make("delay-only", delay_only, 0xDE14),
+      make("corrupt-only", corrupt_only, 0xC0A5),
+      make("combined", combined, 0xA116),
+  };
+}
+
+namespace {
+
+fsm::Fsm extract_ue_model(const ue::StackProfile& profile,
+                          const instrument::TraceLogger& trace) {
+  extractor::Signatures sigs = extractor::ue_signatures(profile);
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  return extractor::extract(trace.records(), sigs, opts);
+}
+
+}  // namespace
+
+ChaosReport run_conformance_chaos(const ue::StackProfile& profile, const ChaosRegime& regime) {
+  ChaosReport report;
+  report.regime = regime.name;
+  report.profile = profile.name;
+
+  instrument::TraceLogger baseline_trace;
+  report.baseline = run_conformance(profile, baseline_trace);
+  instrument::TraceLogger chaos_trace;
+  report.chaos = run_conformance(profile, chaos_trace, &regime.config);
+  report.channel = report.chaos.channel;
+
+  report.baseline_model = extract_ue_model(profile, baseline_trace);
+  report.chaos_model = extract_ue_model(profile, chaos_trace);
+  report.fsm_identical = report.baseline_model == report.chaos_model;
+
+  std::map<std::string, bool> baseline_passed;
+  for (const TestResult& r : report.baseline.results) baseline_passed[r.id] = r.passed;
+  for (const TestResult& r : report.chaos.results) {
+    if (!r.quiesced) {
+      report.non_quiescent.push_back(r.id);
+      report.diagnostics.push_back(r.id + ": hit the step budget under " + regime.name +
+                                   " (fault-induced livelock)");
+    }
+    if (baseline_passed[r.id] && !r.passed) {
+      report.newly_failing.push_back(r.id);
+      report.diagnostics.push_back(r.id + ": passes fault-free but fails under " + regime.name +
+                                   " (channel faults: " +
+                                   std::to_string(report.channel.total_faults()) +
+                                   " across the suite)");
+    }
+  }
+  if (!report.fsm_identical) {
+    const fsm::Fsm::Stats base = report.baseline_model.stats();
+    const fsm::Fsm::Stats chaotic = report.chaos_model.stats();
+    report.diagnostics.push_back(
+        "extracted FSM diverges from the fault-free baseline under " + regime.name +
+        ": states " + std::to_string(base.states) + " -> " + std::to_string(chaotic.states) +
+        ", transitions " + std::to_string(base.transitions) + " -> " +
+        std::to_string(chaotic.transitions) +
+        " (fault-perturbed log; quarantine with extractor recovery mode)");
+  }
+  return report;
+}
+
+std::vector<ChaosReport> run_chaos_matrix(const ue::StackProfile& profile, double intensity) {
+  std::vector<ChaosReport> reports;
+  for (const ChaosRegime& regime : chaos_regimes(intensity)) {
+    reports.push_back(run_conformance_chaos(profile, regime));
+  }
+  return reports;
+}
+
+}  // namespace procheck::testing

@@ -1,0 +1,64 @@
+// Chaos conformance: re-executes the conformance suite under a matrix of
+// channel fault regimes and checks that the pipeline degrades *explicitly*.
+//
+// The contract mirrors "Learn, Check, Test"-style noisy-observation
+// soundness: for each regime, either the model extracted from the chaotic
+// run is identical to the fault-free one, or every divergence (newly
+// failing case, livelocked case, FSM delta) is reported as a diagnostic —
+// faults must never silently mutate the extracted model or the verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+#include "testing/conformance.h"
+
+namespace procheck::testing {
+
+struct ChaosRegime {
+  std::string name;
+  ChannelConfig config;
+};
+
+/// The standard fault matrix: one regime per fault class plus a combined
+/// one, each fault firing with probability `intensity` in both directions.
+std::vector<ChaosRegime> chaos_regimes(double intensity = 0.1,
+                                       std::uint64_t seed = 0xC4A05C4A05ULL);
+
+struct ChaosReport {
+  std::string regime;
+  std::string profile;
+
+  ConformanceReport baseline;  // fault-free run
+  ConformanceReport chaos;     // same suite under the regime
+  ChannelStats channel;        // fault counters of the chaotic run
+
+  fsm::Fsm baseline_model;
+  fsm::Fsm chaos_model;
+  bool fsm_identical = false;
+
+  /// Case ids that passed fault-free but failed under the regime.
+  std::vector<std::string> newly_failing;
+  /// Case ids that hit the step budget under the regime (livelocks).
+  std::vector<std::string> non_quiescent;
+  /// Human-readable explanation of every divergence above.
+  std::vector<std::string> diagnostics;
+
+  bool degraded() const {
+    return !fsm_identical || !newly_failing.empty() || !non_quiescent.empty();
+  }
+  /// The chaos contract: clean, or every degradation is diagnosed.
+  bool explained() const { return !degraded() || !diagnostics.empty(); }
+};
+
+/// Runs the suite fault-free and under `regime`, extracts the UE model from
+/// both logs, and diagnoses every divergence.
+ChaosReport run_conformance_chaos(const ue::StackProfile& profile, const ChaosRegime& regime);
+
+/// run_conformance_chaos over the whole chaos_regimes matrix.
+std::vector<ChaosReport> run_chaos_matrix(const ue::StackProfile& profile,
+                                          double intensity = 0.1);
+
+}  // namespace procheck::testing

@@ -35,12 +35,16 @@ const std::vector<TestCase>& conformance_suite();
 struct TestResult {
   std::string id;
   bool passed = false;
+  /// False when the testbed hit a step budget mid-case: a fault-induced
+  /// livelock. A non-quiescent case is never counted as passed.
+  bool quiesced = true;
 };
 
 struct ConformanceReport {
   std::vector<TestResult> results;
   double handler_coverage = 0.0;             // exercised / expected UE handlers
   std::vector<std::string> unexercised;      // handler names never entered
+  ChannelStats channel;                      // aggregate channel-fault counters
 
   int total() const { return static_cast<int>(results.size()); }
   int passed() const;
@@ -48,9 +52,12 @@ struct ConformanceReport {
 
 /// Runs the whole suite for one stack profile, accumulating the execution
 /// log into `trace` ([TEST] markers delimit cases). Every case gets a fresh
-/// testbed + UE so cases are independent.
+/// testbed + UE so cases are independent. When `channel` is non-null every
+/// case's testbed gets a fault-injection channel derived from it (per-case
+/// sub-seeds keep cases independent yet the whole run deterministic).
 ConformanceReport run_conformance(const ue::StackProfile& profile,
-                                  instrument::TraceLogger& trace);
+                                  instrument::TraceLogger& trace,
+                                  const ChannelConfig* channel = nullptr);
 
 /// The UE handler names (with the profile's prefixes applied) the coverage
 /// accounting expects to see — the denominator of `handler_coverage`.

@@ -59,12 +59,55 @@ void Testbed::enqueue_downlink(std::vector<mme::Outgoing> out) {
   for (auto& o : out) downlink_queue_.push_back({o.conn_id, std::move(o.pdu)});
 }
 
+void Testbed::age_delayed() {
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (--delayed_[i].steps_left > 0) {
+      ++i;
+      continue;
+    }
+    DelayedItem released = std::move(delayed_[i]);
+    delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+    released.item.channel_exempt = true;
+    (released.is_downlink ? downlink_queue_ : uplink_queue_).push_back(std::move(released.item));
+  }
+}
+
+bool Testbed::channel_consumes(QueueItem& item, bool is_downlink, std::deque<QueueItem>& queue) {
+  if (!channel_ || item.channel_exempt) return false;
+  switch (channel_->transfer(is_downlink, item.pdu)) {
+    case ChannelFault::kDrop:
+      return true;  // physical loss: never reaches the adversary position
+    case ChannelFault::kDuplicate: {
+      QueueItem copy = item;
+      copy.channel_exempt = true;
+      queue.push_back(std::move(copy));
+      return false;  // original delivered now, copy later
+    }
+    case ChannelFault::kReorder:
+      if (!queue.empty()) {
+        item.channel_exempt = true;
+        queue.push_back(std::move(item));
+        return true;
+      }
+      return false;  // nothing to slip behind — deliver as-is
+    case ChannelFault::kDelay:
+      delayed_.push_back({std::move(item), is_downlink, channel_->draw_delay()});
+      return true;
+    case ChannelFault::kCorrupt:  // bit already flipped in place
+    case ChannelFault::kNone:
+      return false;
+  }
+  return false;
+}
+
 bool Testbed::step() {
+  if (channel_ && !delayed_.empty()) age_delayed();
   // Alternate fairness is unnecessary: drain downlink first so responses to
   // a UE arrive before its next uplink is processed.
   if (!downlink_queue_.empty()) {
     QueueItem item = std::move(downlink_queue_.front());
     downlink_queue_.pop_front();
+    if (channel_consumes(item, /*is_downlink=*/true, downlink_queue_)) return true;
     AdversaryAction action =
         downlink_icpt_ ? downlink_icpt_(item.conn_id, item.pdu) : AdversaryAction::pass();
     dl_captures_.push_back({item.conn_id, item.pdu, action.kind != AdversaryAction::Kind::kDrop,
@@ -84,6 +127,7 @@ bool Testbed::step() {
   if (!uplink_queue_.empty()) {
     QueueItem item = std::move(uplink_queue_.front());
     uplink_queue_.pop_front();
+    if (channel_consumes(item, /*is_downlink=*/false, uplink_queue_)) return true;
     AdversaryAction action =
         uplink_icpt_ ? uplink_icpt_(item.conn_id, item.pdu) : AdversaryAction::pass();
     ul_captures_.push_back({item.conn_id, item.pdu, action.kind != AdversaryAction::Kind::kDrop,
@@ -100,17 +144,22 @@ bool Testbed::step() {
     enqueue_downlink(mme_.handle_uplink(item.conn_id, item.pdu));
     return true;
   }
-  return false;
+  // Parked PDUs still count as in-flight traffic: aging them is progress.
+  return channel_ && !delayed_.empty();
 }
 
-void Testbed::run_until_quiet(int max_steps) {
-  for (int i = 0; i < max_steps && step(); ++i) {
+bool Testbed::run_until_quiet(int max_steps) {
+  for (int i = 0; i < max_steps; ++i) {
+    if (!step()) return true;
   }
+  ++step_limit_hits_;
+  return false;
 }
 
 void Testbed::tick(int n) {
   for (int i = 0; i < n; ++i) {
     enqueue_downlink(mme_.tick());
+    for (auto& [conn_id, u] : ues_) enqueue_uplink(conn_id, u.tick());
     run_until_quiet();
   }
 }

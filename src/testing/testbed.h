@@ -12,12 +12,14 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "instrument/trace_log.h"
 #include "mme/mme_nas.h"
 #include "nas/messages.h"
+#include "testing/channel_model.h"
 #include "ue/profile.h"
 #include "ue/ue_nas.h"
 
@@ -72,6 +74,13 @@ class Testbed {
   void set_uplink_interceptor(Interceptor fn) { uplink_icpt_ = std::move(fn); }
   void clear_interceptors();
 
+  /// Installs a fault-injection channel model; every PDU crossing either
+  /// direction is routed through it *before* the adversary interceptors.
+  /// Without a channel (or with all probabilities zero) delivery is
+  /// byte-identical to the fault-free testbed.
+  void set_channel(const ChannelConfig& config) { channel_.emplace(config); }
+  const ChannelModel* channel() const { return channel_ ? &*channel_ : nullptr; }
+
   // --- Driving.
   /// UE-side internal events (enqueue the resulting uplink traffic).
   void power_on(int conn_id);
@@ -90,11 +99,17 @@ class Testbed {
   void inject_uplink(int conn_id, const nas::NasPdu& pdu);
 
   /// Delivers queued messages (through the interceptors) until both
-  /// directions are quiescent or `max_steps` deliveries happened.
-  void run_until_quiet(int max_steps = 1000);
+  /// directions are quiescent or `max_steps` deliveries happened. Returns
+  /// true iff the testbed quiesced; false means the step budget ran out
+  /// with traffic still in flight (a fault-induced livelock, not quiet).
+  bool run_until_quiet(int max_steps = 1000);
 
-  /// Advances MME logical time by `n` ticks, delivering any retransmissions
-  /// after each tick.
+  /// Number of run_until_quiet calls that hit their step budget without
+  /// quiescing. Callers diff this across a scenario to detect livelocks.
+  std::size_t step_limit_hits() const { return step_limit_hits_; }
+
+  /// Advances MME and UE logical time by `n` ticks, delivering any
+  /// retransmissions after each tick.
   void tick(int n = 1);
 
   // --- Adversary's recordings.
@@ -113,11 +128,23 @@ class Testbed {
   struct QueueItem {
     int conn_id;
     nas::NasPdu pdu;
+    // Set on PDUs the channel already faulted (duplicate copies, reordered or
+    // delayed re-enqueues): at most one fault fires per PDU.
+    bool channel_exempt = false;
+  };
+  struct DelayedItem {
+    QueueItem item;
+    bool is_downlink;
+    int steps_left;
   };
 
   void enqueue_uplink(int conn_id, std::vector<nas::NasPdu> pdus);
   void enqueue_downlink(std::vector<mme::Outgoing> out);
   bool step();
+  void age_delayed();
+  /// Applies the channel to a just-dequeued PDU; returns true when the item
+  /// was consumed (dropped, pushed back, or parked) and the step is over.
+  bool channel_consumes(QueueItem& item, bool is_downlink, std::deque<QueueItem>& queue);
 
   instrument::TraceLogger* ue_trace_;
   mme::MmeNas mme_;
@@ -130,6 +157,9 @@ class Testbed {
   Interceptor uplink_icpt_;
   std::vector<Capture> dl_captures_;
   std::vector<Capture> ul_captures_;
+  std::optional<ChannelModel> channel_;
+  std::vector<DelayedItem> delayed_;
+  std::size_t step_limit_hits_ = 0;
 };
 
 }  // namespace procheck::testing

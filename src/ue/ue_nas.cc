@@ -62,6 +62,9 @@ void UeNas::trace_local(std::string_view name, std::string_view value) {
 }
 
 void UeNas::set_state(EmmState next) {
+  // Leaving the state a pending procedure was armed in means the procedure
+  // resolved (accept/reject/abandon): stop its retransmission timer.
+  if (pending_retx_ && next != pending_retx_->armed_state) pending_retx_.reset();
   emm_state_ = next;
   // State variables are global; the instrumented build reports every write.
   if (trace_) trace_->global("emm_state", to_string(emm_state_));
@@ -79,6 +82,59 @@ nas::NasPdu UeNas::send_message(NasMessage msg, bool force_plain) {
   return encode_plain(msg);
 }
 
+// --- Retransmission timer ----------------------------------------------------
+
+void UeNas::arm_retransmission(const NasMessage& msg, bool force_plain) {
+  pending_retx_ = PendingRetransmission{msg, force_plain, emm_state_, kRetransmissionPeriod, 0};
+}
+
+std::vector<NasPdu> UeNas::abandon_procedure() {
+  const EmmState armed = pending_retx_->armed_state;
+  pending_retx_.reset();
+  ++procedures_abandoned_;
+  trace_enter_recv("retransmission_timer");
+  trace_local("retransmissions_exhausted", 1);
+  switch (armed) {
+    case EmmState::kRegisteredInitiated:
+      set_state(EmmState::kDeregistered);
+      break;
+    case EmmState::kDeregisteredInitiated:
+      // Abnormal detach case (TS 24.301 §5.5.2.2.4): detach locally.
+      sec_.clear();
+      pending_kasme_.reset();
+      last_dl_.reset();
+      set_state(EmmState::kDeregistered);
+      break;
+    case EmmState::kServiceRequestInitiated:
+      set_state(EmmState::kRegistered);
+      break;
+    case EmmState::kTauInitiated:
+      set_state(EmmState::kRegisteredAttemptingToUpdate);
+      break;
+    default:
+      break;
+  }
+  trace_globals();
+  return {};
+}
+
+std::vector<NasPdu> UeNas::tick() {
+  if (!pending_retx_) return {};
+  if (--pending_retx_->ticks_left > 0) return {};
+  if (pending_retx_->retransmissions >= kMaxRetransmissions) return abandon_procedure();
+  ++pending_retx_->retransmissions;
+  // Linear backoff: 6, 12, 18, ... ticks between attempts.
+  pending_retx_->ticks_left = kRetransmissionPeriod * (pending_retx_->retransmissions + 1);
+  ++retransmissions_sent_;
+  trace_enter_recv("retransmission_timer");
+  trace_local("retransmissions", static_cast<std::uint64_t>(pending_retx_->retransmissions));
+  // send_message re-protects with the current context, so the retransmitted
+  // PDU carries a fresh uplink COUNT (no self-inflicted replays).
+  std::vector<NasPdu> out{send_message(pending_retx_->msg, pending_retx_->force_plain)};
+  trace_globals();
+  return out;
+}
+
 // --- Internal events ---------------------------------------------------------
 
 std::vector<NasPdu> UeNas::power_on_attach() {
@@ -93,11 +149,13 @@ std::vector<NasPdu> UeNas::power_on_attach() {
     // skipping authentication and security-mode control entirely.
     set_state(EmmState::kRegisteredInitiated);
     out.push_back(send_message(req));
+    arm_retransmission(req, /*force_plain=*/false);
   } else {
     sec_.clear();
     last_dl_.reset();
     set_state(EmmState::kRegisteredInitiated);
     out.push_back(send_message(req, /*force_plain=*/true));
+    arm_retransmission(req, /*force_plain=*/true);
   }
   trace_globals();
   return out;
@@ -109,6 +167,7 @@ std::vector<NasPdu> UeNas::trigger_detach() {
   NasMessage req(MsgType::kDetachRequest);
   req.set_s("detach_type", "ue_initiated");
   std::vector<NasPdu> out{send_message(req)};
+  arm_retransmission(req, /*force_plain=*/false);
   trace_globals();
   return out;
 }
@@ -125,6 +184,7 @@ std::vector<NasPdu> UeNas::trigger_service_request() {
   NasMessage req(MsgType::kServiceRequest);
   req.set_s("identity", guti_);
   std::vector<NasPdu> out{send_message(req)};
+  arm_retransmission(req, /*force_plain=*/false);
   trace_globals();
   return out;
 }
@@ -135,6 +195,7 @@ std::vector<NasPdu> UeNas::trigger_tau() {
   NasMessage req(MsgType::kTauRequest);
   req.set_s("identity", guti_);
   std::vector<NasPdu> out{send_message(req)};
+  arm_retransmission(req, /*force_plain=*/false);
   trace_globals();
   return out;
 }

@@ -46,6 +46,19 @@ class UeNas {
   /// the incoming-message handler, return any responsive uplink PDUs.
   std::vector<nas::NasPdu> handle_downlink(const nas::NasPdu& pdu);
 
+  /// Advances the UE's logical clock by one tick. While a UE-initiated
+  /// procedure awaits its answer this counts the retransmission timer down
+  /// and, on expiry, re-emits the stored request (fresh COUNT) with linear
+  /// backoff; after kMaxRetransmissions the procedure is abandoned and the
+  /// state falls back. Disarmed (the fault-free steady case) it is silent.
+  std::vector<nas::NasPdu> tick();
+
+  /// Retransmission period in ticks. Deliberately longer than the MME's
+  /// kTimerPeriod (3) so the network-side timer drives recovery first and
+  /// fault-free scenarios never see a UE retransmission.
+  static constexpr int kRetransmissionPeriod = 6;
+  static constexpr int kMaxRetransmissions = 4;
+
   // --- Observability (testbed assertions and ground-truth tests).
   EmmState state() const { return emm_state_; }
   const nas::SecurityContext& security() const { return sec_; }
@@ -66,6 +79,11 @@ class UeNas {
   std::optional<std::uint32_t> last_accepted_dl_count() const { return last_dl_; }
   /// Default EPS bearer id activated via the ESM piggyback (0 = none).
   std::uint64_t esm_bearer_id() const { return esm_bearer_id_; }
+  /// Requests re-sent by the retransmission timer (loss recovery marker).
+  int retransmissions_sent() const { return retransmissions_sent_; }
+  /// Procedures abandoned after exhausting kMaxRetransmissions.
+  int procedures_abandoned() const { return procedures_abandoned_; }
+  bool retransmission_armed() const { return pending_retx_.has_value(); }
 
  private:
   // Routing and policy.
@@ -96,6 +114,17 @@ class UeNas {
   // the message with the current context (or sends plain pre-context).
   nas::NasPdu send_message(nas::NasMessage msg, bool force_plain = false);
 
+  // Retransmission timer (armed while a UE-initiated procedure is pending).
+  struct PendingRetransmission {
+    nas::NasMessage msg;   // the request to re-send (re-protected on expiry)
+    bool force_plain;
+    EmmState armed_state;  // leaving this state disarms the timer
+    int ticks_left;
+    int retransmissions;
+  };
+  void arm_retransmission(const nas::NasMessage& msg, bool force_plain);
+  std::vector<nas::NasPdu> abandon_procedure();
+
   // Trace helpers.
   void trace_enter_recv(std::string_view standard_name);
   void trace_enter_send(std::string_view standard_name);
@@ -123,10 +152,14 @@ class UeNas {
   std::optional<std::uint32_t> last_dl_;        // last accepted downlink NAS COUNT
   EmmState emm_state_ = EmmState::kDeregistered;
 
+  std::optional<PendingRetransmission> pending_retx_;
+
   int auth_runs_ = 0;
   int replays_accepted_ = 0;
   int plain_after_ctx_ = 0;
   int protected_discards_ = 0;
+  int retransmissions_sent_ = 0;
+  int procedures_abandoned_ = 0;
   std::uint64_t esm_bearer_id_ = 0;
 };
 

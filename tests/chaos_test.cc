@@ -1,0 +1,247 @@
+// Chaos conformance: the fault-injection channel model end to end.
+//
+// Three contracts are pinned here: (1) a zero-intensity channel is
+// byte-identical to no channel at all (so chaos instrumentation can stay
+// compiled-in); (2) under every fault regime the pipeline completes without
+// crashing and every degradation is explicitly diagnosed; (3) the UE/MME
+// retransmission machinery actually recovers an attach under realistic loss
+// and gives up explicitly (never livelocks) under total loss.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "extractor/extractor.h"
+#include "instrument/trace_log.h"
+#include "testing/chaos.h"
+#include "testing/channel_model.h"
+#include "testing/conformance.h"
+#include "testing/testbed.h"
+#include "ue/emm_state.h"
+#include "ue/profile.h"
+
+namespace procheck {
+namespace {
+
+fsm::Fsm extract_ue_model(const instrument::TraceLogger& trace,
+                          const ue::StackProfile& profile) {
+  extractor::ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  return extractor::extract(trace.records(), extractor::ue_signatures(profile), opts);
+}
+
+// --- Contract 1: the all-zero channel is inert. -------------------------
+
+TEST(ChaosChannel, ZeroIntensityChannelIsByteIdentical) {
+  const ue::StackProfile profile = ue::StackProfile::cls();
+
+  instrument::TraceLogger base_trace;
+  testing::ConformanceReport base = testing::run_conformance(profile, base_trace);
+
+  testing::ChannelConfig zero;  // every probability 0.0
+  instrument::TraceLogger chan_trace;
+  testing::ConformanceReport with_channel =
+      testing::run_conformance(profile, chan_trace, &zero);
+
+  // Same verdicts, same log bytes, same extracted machine.
+  ASSERT_EQ(base.results.size(), with_channel.results.size());
+  for (std::size_t i = 0; i < base.results.size(); ++i) {
+    EXPECT_EQ(base.results[i].passed, with_channel.results[i].passed) << base.results[i].id;
+    EXPECT_TRUE(with_channel.results[i].quiesced) << base.results[i].id;
+  }
+  EXPECT_EQ(base_trace.records(), chan_trace.records());
+  EXPECT_EQ(base_trace.text(), chan_trace.text());
+  EXPECT_TRUE(extract_ue_model(base_trace, profile) == extract_ue_model(chan_trace, profile));
+  EXPECT_EQ(with_channel.channel.total_faults(), 0u);
+  // The channel still *saw* every PDU — it just never touched one.
+  EXPECT_GT(with_channel.channel.downlink.offered + with_channel.channel.uplink.offered, 0u);
+}
+
+TEST(ChaosChannel, SameSeedSameRun) {
+  const ue::StackProfile profile = ue::StackProfile::cls();
+  testing::ChannelConfig cfg;
+  cfg.downlink.drop = 0.1;
+  cfg.uplink.duplicate = 0.1;
+  cfg.seed = 0xDECAFBAD;
+
+  instrument::TraceLogger t1, t2;
+  testing::ConformanceReport r1 = testing::run_conformance(profile, t1, &cfg);
+  testing::ConformanceReport r2 = testing::run_conformance(profile, t2, &cfg);
+
+  EXPECT_EQ(t1.records(), t2.records());
+  ASSERT_EQ(r1.results.size(), r2.results.size());
+  for (std::size_t i = 0; i < r1.results.size(); ++i) {
+    EXPECT_EQ(r1.results[i].passed, r2.results[i].passed) << r1.results[i].id;
+  }
+  EXPECT_EQ(r1.channel.total_faults(), r2.channel.total_faults());
+}
+
+// --- ChannelModel unit behavior. ----------------------------------------
+
+TEST(ChaosChannel, InactiveProfileConsumesNoRandomness) {
+  testing::ChannelModel ch;  // default config: all zero
+  nas::NasPdu pdu;
+  pdu.payload = {1, 2, 3};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ch.transfer(true, pdu), testing::ChannelFault::kNone);
+    EXPECT_EQ(ch.transfer(false, pdu), testing::ChannelFault::kNone);
+  }
+  EXPECT_EQ(ch.stats().downlink.offered, 50u);
+  EXPECT_EQ(ch.stats().uplink.offered, 50u);
+  EXPECT_EQ(ch.stats().total_faults(), 0u);
+  EXPECT_EQ(pdu.payload, (Bytes{1, 2, 3}));  // never touched
+}
+
+TEST(ChaosChannel, CertainDropAlwaysDrops) {
+  testing::ChannelConfig cfg;
+  cfg.downlink.drop = 1.0;
+  testing::ChannelModel ch(cfg);
+  nas::NasPdu pdu;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ch.transfer(true, pdu), testing::ChannelFault::kDrop);
+    EXPECT_EQ(ch.transfer(false, pdu), testing::ChannelFault::kNone);  // uplink inert
+  }
+  EXPECT_EQ(ch.stats().downlink.dropped, 20u);
+  EXPECT_EQ(ch.stats().uplink.faults(), 0u);
+}
+
+TEST(ChaosChannel, CorruptFlipsExactlyOneBit) {
+  testing::ChannelConfig cfg;
+  cfg.uplink.corrupt = 1.0;
+  testing::ChannelModel ch(cfg);
+  for (int i = 0; i < 20; ++i) {
+    nas::NasPdu pdu;
+    pdu.payload = {0x00, 0x00, 0x00, 0x00};
+    pdu.mac = 0;
+    ASSERT_EQ(ch.transfer(false, pdu), testing::ChannelFault::kCorrupt);
+    int flipped = 0;
+    for (std::uint8_t b : pdu.payload) flipped += __builtin_popcount(b);
+    flipped += __builtin_popcountll(pdu.mac);
+    EXPECT_EQ(flipped, 1);
+  }
+}
+
+// --- Contract 2: every regime completes and is explained. ---------------
+
+TEST(ChaosMatrix, EveryRegimeCompletesAndIsExplained) {
+  const ue::StackProfile profile = ue::StackProfile::cls();
+  std::vector<testing::ChaosReport> reports = testing::run_chaos_matrix(profile, 0.1);
+  ASSERT_GE(reports.size(), 6u);  // 5 single-fault regimes + combined
+  for (const testing::ChaosReport& rep : reports) {
+    SCOPED_TRACE(rep.regime);
+    // The suite must complete under faults: same case count as fault-free.
+    EXPECT_EQ(rep.chaos.total(), rep.baseline.total());
+    // Either the extracted model is identical to the fault-free one, or the
+    // degradation is diagnosed — never silent mutation.
+    EXPECT_TRUE(rep.explained());
+    if (!rep.fsm_identical || !rep.newly_failing.empty() || !rep.non_quiescent.empty()) {
+      EXPECT_FALSE(rep.diagnostics.empty());
+    }
+  }
+}
+
+TEST(ChaosMatrix, RegimesActuallyInjectFaults) {
+  const ue::StackProfile profile = ue::StackProfile::cls();
+  std::vector<testing::ChaosReport> reports = testing::run_chaos_matrix(profile, 0.2);
+  std::size_t total = 0;
+  for (const testing::ChaosReport& rep : reports) total += rep.channel.total_faults();
+  EXPECT_GT(total, 0u);
+}
+
+// --- Contract 3: retransmission recovers realistic loss. ----------------
+
+class LossyAttachSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyAttachSweep, AttachSucceedsUnderTenPercentLoss) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  testing::ChannelConfig cfg;
+  cfg.downlink.drop = 0.1;
+  cfg.uplink.drop = 0.1;
+  cfg.seed = GetParam();
+  tb.set_channel(cfg);
+
+  EXPECT_TRUE(testing::complete_attach(tb, conn));
+  EXPECT_TRUE(tb.ue(conn).security().valid);
+  EXPECT_EQ(tb.ue(conn).procedures_abandoned(), 0);
+  EXPECT_EQ(tb.step_limit_hits(), 0u);
+}
+
+TEST_P(LossyAttachSweep, AttachSucceedsUnderDuplicationAndReordering) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  testing::ChannelConfig cfg;
+  cfg.downlink.duplicate = 0.15;
+  cfg.uplink.reorder = 0.15;
+  cfg.seed = GetParam() ^ 0xD0B2;
+  tb.set_channel(cfg);
+
+  EXPECT_TRUE(testing::complete_attach(tb, conn));
+  EXPECT_TRUE(tb.ue(conn).security().valid);
+  EXPECT_EQ(tb.step_limit_hits(), 0u);
+}
+
+TEST_P(LossyAttachSweep, ChaoticAttachNeverCorruptsUsim) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  testing::ChannelConfig cfg;
+  cfg.downlink.corrupt = 0.2;
+  cfg.uplink.drop = 0.1;
+  cfg.seed = GetParam() ^ 0xC0A5;
+  tb.set_channel(cfg);
+
+  testing::complete_attach(tb, conn);  // may or may not succeed at this rate
+  // A corrupted challenge must never advance the USIM's SQN array past what
+  // one legitimate AKA round (per retransmitted challenge) can justify.
+  EXPECT_LE(tb.ue(conn).usim().highest_accepted_seq(), 16u);
+  EXPECT_EQ(tb.ue(conn).replays_accepted(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyAttachSweep,
+                         ::testing::Values(11u, 23u, 37u, 58u, 71u));
+
+TEST(ChaosRetransmission, TotalLossAbandonsExplicitly) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  testing::ChannelConfig cfg;
+  cfg.uplink.drop = 1.0;
+  cfg.downlink.drop = 1.0;
+  tb.set_channel(cfg);
+
+  EXPECT_FALSE(testing::complete_attach(tb, conn));
+  // The UE retried its full budget, then gave up and fell back to
+  // deregistered — no livelock, no half-open procedure.
+  EXPECT_EQ(tb.ue(conn).retransmissions_sent(), ue::UeNas::kMaxRetransmissions);
+  EXPECT_EQ(tb.ue(conn).procedures_abandoned(), 1);
+  EXPECT_FALSE(tb.ue(conn).retransmission_armed());
+  EXPECT_EQ(tb.ue(conn).state(), ue::EmmState::kDeregistered);
+}
+
+TEST(ChaosRetransmission, FaultFreeAttachSendsNoRetransmissions) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  ASSERT_TRUE(testing::complete_attach(tb, conn));
+  EXPECT_EQ(tb.ue(conn).retransmissions_sent(), 0);
+  EXPECT_EQ(tb.ue(conn).procedures_abandoned(), 0);
+  // Completion disarms the timer: ticking a registered UE emits nothing.
+  EXPECT_FALSE(tb.ue(conn).retransmission_armed());
+  std::size_t dl_before = tb.downlink_captures().size();
+  std::size_t ul_before = tb.uplink_captures().size();
+  tb.tick(12);
+  EXPECT_EQ(tb.downlink_captures().size(), dl_before);
+  EXPECT_EQ(tb.uplink_captures().size(), ul_before);
+}
+
+TEST(ChaosRetransmission, DelayedChallengeStillCompletesAttach) {
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+  testing::ChannelConfig cfg;
+  cfg.downlink.delay = 0.5;
+  cfg.max_delay_steps = 3;
+  cfg.seed = 97;
+  tb.set_channel(cfg);
+
+  EXPECT_TRUE(testing::complete_attach(tb, conn));
+  EXPECT_EQ(tb.step_limit_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace procheck

@@ -311,5 +311,48 @@ TEST(Cegar, StatsAreRecorded) {
   EXPECT_GE(r.iterations, 1);
 }
 
+// --- Budgets: exhaustion is inconclusive, never a fake verdict -----------------
+
+TEST(CegarBudget, ExhaustedStateBoundIsInconclusive) {
+  // S05 verifies on cls with the default budget; with a 3-state budget the
+  // search is truncated long before the property's reachable fragment is
+  // covered, and claiming "verified" would be unsound.
+  PropertyResult r = run_one(ue::StackProfile::cls(), "S05", /*max_states=*/3);
+  EXPECT_EQ(r.status, PropertyResult::Status::kInconclusive);
+  EXPECT_TRUE(r.last_stats.bound_hit);
+  EXPECT_TRUE(contains(r.note, "budget exhausted"));
+  EXPECT_LE(r.last_stats.states_explored, 3u);
+}
+
+TEST(CegarBudget, ExhaustedWallClockIsInconclusive) {
+  const ExtractedModels& m = models_for(ue::StackProfile::cls());
+  threat::ThreatModel tm = ProChecker::build_threat_model(m.flat);
+  cpv::LteCryptoModel::Options copts;
+  cpv::LteCryptoModel crypto(copts);
+  CegarOptions options;
+  options.max_seconds = 1e-12;  // expires within the first iteration
+  PropertyResult r = check_property(tm, m.flat, property("S05"), crypto, options);
+  EXPECT_EQ(r.status, PropertyResult::Status::kInconclusive);
+  EXPECT_TRUE(contains(r.note, "budget exhausted") || contains(r.note, "wall-clock"));
+}
+
+TEST(CegarBudget, DefaultBudgetsAreConclusiveAcrossTheCatalog) {
+  // At the default budgets no property lands on the inconclusive path, so
+  // the Table I reproduction is unaffected by the budget machinery. (The
+  // integration suite pins the exact per-profile statuses; one profile
+  // suffices here.)
+  const ue::StackProfile profile = ue::StackProfile::cls();
+  const ExtractedModels& m = models_for(profile);
+  threat::ThreatModel tm = ProChecker::build_threat_model(m.flat);
+  cpv::LteCryptoModel::Options copts;
+  copts.usim_freshness_limit = profile.sqn_freshness_limit.has_value();
+  cpv::LteCryptoModel crypto(copts);
+  for (const PropertyDef& prop : property_catalog()) {
+    PropertyResult r = check_property(tm, m.flat, prop, crypto, {});
+    EXPECT_NE(r.status, PropertyResult::Status::kInconclusive)
+        << profile.name << "/" << prop.id << ": " << r.note;
+  }
+}
+
 }  // namespace
 }  // namespace procheck::checker

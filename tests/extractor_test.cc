@@ -307,5 +307,122 @@ TEST(ExtractFromConformanceLog, ChainedIsRicherThanBasic) {
   EXPECT_GE(rich.stats().transitions, flat.stats().transitions);
 }
 
+// --- Recovery mode (noisy / corrupted logs) -----------------------------------
+
+Signatures fig3_recovery_signatures() {
+  Signatures sigs = fig3_signatures();
+  sigs.state_variables = {"emm_state"};
+  return sigs;
+}
+
+TEST(RecoveryMode, QuarantinesBlockWithCorruptStateValue) {
+  TraceLogger log;
+  log.enter("recv_attach_accept");
+  log.global("emm_state", "UE_REGISTERED_INIT");
+  log.enter("send_attach_complete");
+  log.global("emm_state", "UE_REGISTERED");
+  log.enter("recv_detach_request");
+  log.global("emm_state", "UE_REGIST\x01RED");  // bit-flipped state value
+  log.enter("send_detach_accept");
+  log.global("emm_state", "UE_REGISTERED_INIT");
+
+  ExtractionDiagnostics diag;
+  ExtractionOptions opts;
+  opts.recovery = true;
+  opts.diagnostics = &diag;
+  fsm::Fsm m = extract_basic(log.records(), fig3_recovery_signatures(), opts);
+
+  // The clean attach block survives; the corrupted detach block does not.
+  ASSERT_EQ(m.transitions().size(), 1u);
+  EXPECT_EQ(m.transitions()[0].conditions.count("attach_accept"), 1u);
+  EXPECT_EQ(diag.blocks_total, 2u);
+  EXPECT_EQ(diag.blocks_extracted, 1u);
+  ASSERT_EQ(diag.quarantined.size(), 1u);
+  EXPECT_EQ(diag.quarantined[0].incoming, "detach_request");
+  EXPECT_NE(diag.quarantined[0].reason.find("unrecognized state value"), std::string::npos);
+}
+
+TEST(RecoveryMode, WithoutRecoveryCorruptBlockIsSimplyStateless) {
+  // The detector only *acts* in recovery mode: default extraction of the
+  // same log must behave exactly as before (corrupt value is not a state
+  // signature, so the block contributes nothing either way here).
+  TraceLogger log;
+  log.enter("recv_attach_accept");
+  log.global("emm_state", "UE_REGISTERED_INIT");
+  log.enter("recv_detach_request");
+  log.global("emm_state", "GARBAGE");
+  fsm::Fsm plain = extract_basic(log.records(), fig3_recovery_signatures(), {});
+  ExtractionOptions opts;
+  opts.recovery = true;
+  fsm::Fsm recovered = extract_basic(log.records(), fig3_recovery_signatures(), opts);
+  EXPECT_TRUE(plain == recovered);
+}
+
+TEST(RecoveryMode, BlockWithNoStateObservationIsDiagnosed) {
+  TraceLogger log;
+  log.enter("recv_attach_accept");
+  log.global("emm_state", "UE_REGISTERED_INIT");
+  log.enter("recv_service_reject");  // truncated: its state write was lost
+  log.local("cause", 9);
+
+  ExtractionDiagnostics diag;
+  ExtractionOptions opts;
+  opts.recovery = true;
+  opts.diagnostics = &diag;
+  extract_basic(log.records(), fig3_recovery_signatures(), opts);
+
+  ASSERT_EQ(diag.quarantined.size(), 1u);
+  EXPECT_EQ(diag.quarantined[0].incoming, "service_reject");
+  EXPECT_NE(diag.quarantined[0].reason.find("no state observation"), std::string::npos);
+}
+
+TEST(RecoveryMode, PristineConformanceLogExtractsIdentically) {
+  // On a clean real log, recovery mode must quarantine nothing and produce
+  // the identical machine — it is a pure safety net.
+  instrument::TraceLogger trace;
+  testing::run_conformance(ue::StackProfile::cls(), trace);
+  Signatures sigs = ue_signatures(ue::StackProfile::cls());
+  ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  fsm::Fsm plain = extract(trace.records(), sigs, opts);
+
+  ExtractionDiagnostics diag;
+  ExtractionOptions rec_opts = opts;
+  rec_opts.recovery = true;
+  rec_opts.diagnostics = &diag;
+  fsm::Fsm recovered = extract(trace.records(), sigs, rec_opts);
+
+  EXPECT_TRUE(plain == recovered);
+  // A clean log has no corrupt content to quarantine (state-less blocks may
+  // still be *noted*, which is why the machines must stay identical).
+  for (const auto& q : diag.quarantined) {
+    EXPECT_EQ(q.reason.find("unrecognized state value"), std::string::npos) << q.incoming;
+  }
+  EXPECT_GT(diag.blocks_total, 0u);
+  EXPECT_EQ(diag.blocks_extracted + diag.quarantined.size(), diag.blocks_total);
+}
+
+TEST(RecoveryMode, ChaoticLogNeverPoisonsTheModelSilently) {
+  // End to end: extract from a corrupt-regime conformance log in recovery
+  // mode. Every block either contributes transitions whose states are real
+  // signatures, or lands in the quarantine list.
+  instrument::TraceLogger trace;
+  testing::ChannelConfig cfg;
+  cfg.downlink.corrupt = 0.15;
+  cfg.uplink.corrupt = 0.15;
+  testing::run_conformance(ue::StackProfile::cls(), trace, &cfg);
+
+  Signatures sigs = ue_signatures(ue::StackProfile::cls());
+  ExtractionDiagnostics diag;
+  ExtractionOptions opts;
+  opts.initial_state = "EMM_DEREGISTERED";
+  opts.recovery = true;
+  opts.diagnostics = &diag;
+  fsm::Fsm m = extract(trace.records(), sigs, opts);
+
+  EXPECT_EQ(diag.blocks_extracted + diag.quarantined.size(), diag.blocks_total);
+  EXPECT_GT(m.stats().transitions, 0u);
+}
+
 }  // namespace
 }  // namespace procheck::extractor

@@ -46,6 +46,68 @@ TEST(TraceLog, ParserToleratesInterleavedOutput) {
   EXPECT_EQ(records[2].name, "x");
 }
 
+TEST(TraceLog, ParseStatsAccountForEveryLine) {
+  std::string text =
+      "random build output\n"
+      "[ENTER] recv_attach_accept\n"
+      "WARNING: unrelated\n"
+      "[GLOBAL] emm_state = EMM_REGISTERED\n"
+      "[LOCAL] broken-line-without-equals\n"
+      "[LOCAL] x = 1\n";
+  ParseStats stats;
+  auto records = parse_log(text, &stats);
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(stats.lines, 6u);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.skipped, 2u);    // the two untagged lines
+  EXPECT_EQ(stats.truncated, 1u);  // the [LOCAL] with no '='
+}
+
+TEST(TraceLog, TruncatedMidLineRecordsAreShedNotCorrupted) {
+  // A log cut mid-write (crash, chaos run) can end inside any record kind;
+  // the parser must shed exactly the damaged tail and keep the prefix.
+  std::string text =
+      "[ENTER] recv_attach_request\n"
+      "[GLOBAL] emm_state = EMM_DEREGISTERED\n"
+      "[ENTER]\n"          // truncated: no function name survives
+      "[GLOBAL] emm_sta";  // truncated: cut before '='
+  ParseStats stats;
+  auto records = parse_log(text, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "recv_attach_request");
+  EXPECT_EQ(records[1].value, "EMM_DEREGISTERED");
+  EXPECT_EQ(stats.truncated, 2u);
+  EXPECT_EQ(stats.skipped, 0u);
+}
+
+TEST(TraceLog, GarbageSuffixedLogKeepsCleanPrefix) {
+  TraceLogger log;
+  log.enter("recv_attach_accept");
+  log.global("emm_state", "EMM_REGISTERED");
+  std::string text = log.text() + "\x01\x02garbage tail with no tag\n[LOCAL] cut";
+  ParseStats stats;
+  auto records = parse_log(text, &stats);
+  EXPECT_EQ(records, log.records());
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_EQ(stats.truncated, 1u);
+}
+
+TEST(TraceLog, ParseStatsRoundTripIsLossless) {
+  TraceLogger log;
+  log.test_case("TC_NAS_ATT_01");
+  log.enter("recv_attach_request");
+  log.global("emm_state", "EMM_DEREGISTERED");
+  log.local("mac_valid", 1);
+  ParseStats stats;
+  auto parsed = parse_log(log.text(), &stats);
+  EXPECT_EQ(parsed, log.records());
+  EXPECT_EQ(stats.records, log.records().size());
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.truncated, 0u);
+  EXPECT_EQ(stats.lines, log.records().size());
+}
+
 TEST(TraceLog, ValueWithEqualsSign) {
   auto records = parse_log("[LOCAL] expr = a=b\n");
   ASSERT_EQ(records.size(), 1u);

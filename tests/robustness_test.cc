@@ -117,6 +117,79 @@ TEST_P(GarbagePduSweep, LiveMmeSurvivesGarbageUplink) {
   EXPECT_EQ(tb.mme().state(conn), state_before);
 }
 
+TEST_P(GarbagePduSweep, BitFlippedProtectedPdusMidHandshakeAreHarmless) {
+  // A MITM flips one random bit in every protected PDU of a live handshake:
+  // integrity protection must reject each mangled PDU without crashing,
+  // corrupting keys, or advancing the USIM's SQN array.
+  Rng rng(GetParam() ^ 0xB17F11F);
+  testing::Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+
+  auto flip = [&rng](const nas::NasPdu& pdu) {
+    nas::NasPdu mangled = pdu;
+    if (!mangled.payload.empty()) {
+      std::size_t bit = rng.next_below(mangled.payload.size() * 8);
+      mangled.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    } else {
+      mangled.mac ^= 1ull << rng.next_below(64);
+    }
+    return mangled;
+  };
+  tb.set_downlink_interceptor([&flip](int, const nas::NasPdu& pdu) {
+    if (pdu.sec_hdr == nas::SecHdr::kPlain) return testing::AdversaryAction::pass();
+    return testing::AdversaryAction::replace(flip(pdu));
+  });
+
+  tb.power_on(conn);
+  tb.run_until_quiet(5000);
+
+  // With every protected downlink mangled the attach cannot complete, but
+  // nothing may break: keys stay consistent and no replay slips through.
+  EXPECT_FALSE(ue::is_registered(tb.ue(conn).state()));
+  EXPECT_EQ(tb.ue(conn).replays_accepted(), 0);
+  auto seq_after_mangling = tb.ue(conn).usim().highest_accepted_seq();
+
+  // Clearing the adversary must let the same UE attach cleanly afterwards —
+  // proof that the mangled traffic left no residual corruption.
+  tb.clear_interceptors();
+  ASSERT_TRUE(testing::complete_attach(tb, conn));
+  EXPECT_TRUE(tb.ue(conn).security().valid);
+  EXPECT_GE(tb.ue(conn).usim().highest_accepted_seq(), seq_after_mangling);
+}
+
+TEST_P(GarbagePduSweep, RandomDropDuplicateFuzzNeverCrashesAttach) {
+  // Randomized channel fuzz over the full attach: for many derived seeds,
+  // drop/duplicate faults at varying intensity must never crash the stacks,
+  // corrupt an established key, or livelock the testbed.
+  Rng seeds(GetParam() ^ 0xF022);
+  for (int round = 0; round < 8; ++round) {
+    testing::Testbed tb;
+    int conn = tb.add_ue(ue::StackProfile::cls(), testing::kTestImsi, testing::kTestKey);
+    testing::ChannelConfig cfg;
+    cfg.downlink.drop = 0.05 * static_cast<double>(seeds.next_below(4));
+    cfg.uplink.drop = 0.05 * static_cast<double>(seeds.next_below(4));
+    cfg.downlink.duplicate = 0.05 * static_cast<double>(seeds.next_below(4));
+    cfg.uplink.duplicate = 0.05 * static_cast<double>(seeds.next_below(4));
+    cfg.seed = seeds.next_u64();
+    tb.set_channel(cfg);
+
+    bool ok = testing::complete_attach(tb, conn);
+    EXPECT_EQ(tb.step_limit_hits(), 0u) << "livelock in round " << round;
+    // A channel duplicate *is* a replay; the cls stack's modeled I6
+    // deviation may accept a replayed SMC (that is ground truth, not
+    // corruption). But replays must never outnumber injected duplicates.
+    EXPECT_LE(static_cast<std::size_t>(tb.ue(conn).replays_accepted()),
+              tb.channel()->stats().downlink.duplicated);
+    if (ok) {
+      EXPECT_TRUE(tb.ue(conn).security().valid);
+      EXPECT_EQ(tb.mme().state(conn), mme::MmeState::kRegistered);
+    } else {
+      // Failure must be an explicit give-up, not a wedged procedure.
+      EXPECT_FALSE(tb.ue(conn).retransmission_armed());
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, GarbagePduSweep, ::testing::Values(7u, 99u));
 
 TEST(Robustness, SourceInstrumentorToleratesArbitraryText) {

@@ -116,8 +116,33 @@ TEST(Testbed, RunUntilQuietBoundsSteps) {
     return AdversaryAction::pass();
   });
   tb.power_on(conn);
-  tb.run_until_quiet(50);  // must return
-  SUCCEED();
+  // The bound must terminate the run AND report the livelock.
+  EXPECT_FALSE(tb.run_until_quiet(50));
+  EXPECT_EQ(tb.step_limit_hits(), 1u);
+}
+
+TEST(Testbed, RunUntilQuietReportsQuiescence) {
+  Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), kTestImsi, kTestKey);
+  tb.power_on(conn);
+  EXPECT_TRUE(tb.run_until_quiet());
+  EXPECT_EQ(tb.step_limit_hits(), 0u);
+  // Draining an already-quiet testbed is trivially quiescent.
+  EXPECT_TRUE(tb.run_until_quiet());
+}
+
+TEST(Testbed, DelayedPdusDrainToQuiescence) {
+  // A delay-heavy channel parks PDUs; aging them counts as progress and the
+  // run only reports quiet once every parked PDU was delivered.
+  Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), kTestImsi, kTestKey);
+  ChannelConfig cfg;
+  cfg.downlink.delay = 1.0;  // every downlink is parked at least one step
+  cfg.max_delay_steps = 2;
+  tb.set_channel(cfg);
+  tb.power_on(conn);
+  EXPECT_TRUE(tb.run_until_quiet());
+  EXPECT_EQ(tb.step_limit_hits(), 0u);
 }
 
 TEST(Testbed, P2LinkabilityScenario) {
