@@ -1,0 +1,171 @@
+// Scalability of the full-catalog analysis (the RQ3 trajectory data): runs
+// the complete 62-property verification of the CLS profile at jobs=1/2/4/8
+// and reports wall-clock seconds, model-checker throughput (states/sec)
+// and the peak visited-set footprint of any single property search.
+//
+//   bench_catalog_parallel [--profile <cls|srsue|oai>] [--write-json <path>]
+//
+// --write-json emits BENCH_catalog.json (machine-readable trajectory file;
+// run from the repo root to place it there). Every run's report is checked
+// against the jobs=1 report — a determinism violation fails the benchmark.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "checker/prochecker.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using namespace procheck;
+
+struct RunSample {
+  int jobs = 1;
+  double wall_seconds = 0;
+  double extraction_seconds = 0;
+  std::size_t states = 0;
+  std::size_t peak_visited_bytes = 0;
+  int verified = 0;
+  int attacks = 0;
+};
+
+std::string fingerprint(const checker::ImplementationReport& rep) {
+  std::string out;
+  for (const checker::PropertyResult& r : rep.results) {
+    out += r.property_id;
+    out += ':';
+    out += std::to_string(static_cast<int>(r.status));
+    out += ':';
+    out += std::to_string(r.refinements.size());
+    out += ':';
+    out += r.counterexample ? std::to_string(r.counterexample->steps.size()) : "-";
+    out += ';';
+  }
+  for (const std::string& id : rep.attacks_found) {
+    out += id;
+    out += ',';
+  }
+  return out;
+}
+
+RunSample run_catalog(const ue::StackProfile& profile, int jobs, std::string* print) {
+  checker::AnalysisOptions options;
+  options.jobs = jobs;
+  auto t0 = std::chrono::steady_clock::now();
+  checker::ImplementationReport rep = checker::ProChecker::analyze(profile, options);
+  RunSample s;
+  s.jobs = jobs;
+  s.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  s.extraction_seconds = rep.extraction_seconds;
+  s.verified = rep.verified_count();
+  s.attacks = rep.attack_count();
+  for (const checker::PropertyResult& r : rep.results) {
+    s.states += r.total_states;
+    s.peak_visited_bytes = std::max(s.peak_visited_bytes, r.peak_visited_bytes);
+  }
+  *print = fingerprint(rep);
+  return s;
+}
+
+void write_json(const std::string& path, const std::string& profile,
+                const std::vector<RunSample>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"catalog_parallel\",\n");
+  std::fprintf(f, "  \"profile\": \"%s\",\n", profile.c_str());
+  std::fprintf(f, "  \"properties\": 62,\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %zu,\n", ThreadPool::default_parallelism());
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunSample& s = runs[i];
+    std::fprintf(f,
+                 "    {\"jobs\": %d, \"wall_seconds\": %.3f, \"states\": %zu,"
+                 " \"states_per_sec\": %.0f, \"peak_visited_bytes\": %zu,"
+                 " \"verified\": %d, \"attacks\": %d}%s\n",
+                 s.jobs, s.wall_seconds, s.states,
+                 s.wall_seconds > 0 ? static_cast<double>(s.states) / s.wall_seconds : 0.0,
+                 s.peak_visited_bytes, s.verified, s.attacks,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  double j1 = runs.front().wall_seconds;
+  double j8 = runs.back().wall_seconds;
+  std::fprintf(f, "  \"speedup_max_jobs_vs_jobs1\": %.2f\n", j8 > 0 ? j1 / j8 : 0.0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile_name = "cls";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--profile" && i + 1 < argc) {
+      profile_name = argv[++i];
+    } else if (a == "--write-json") {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "BENCH_catalog.json";
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_catalog_parallel [--profile <cls|srsue|oai>]"
+                   " [--write-json [path]]\n");
+      return 2;
+    }
+  }
+  ue::StackProfile profile = ue::StackProfile::cls();
+  if (profile_name == "srsue") {
+    profile = ue::StackProfile::srsue();
+  } else if (profile_name == "oai") {
+    profile = ue::StackProfile::oai();
+  } else if (profile_name != "cls") {
+    std::fprintf(stderr, "unknown profile %s\n", profile_name.c_str());
+    return 2;
+  }
+
+  std::vector<RunSample> runs;
+  std::string reference;
+  for (int jobs : {1, 2, 4, 8}) {
+    std::string print;
+    RunSample s = run_catalog(profile, jobs, &print);
+    if (jobs == 1) {
+      reference = print;
+    } else if (print != reference) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION: jobs=%d report differs from jobs=1\n",
+                   jobs);
+      return 1;
+    }
+    std::printf("jobs=%d: %.2fs wall, %zu states (%.0f states/sec), peak visited %.1f MiB\n",
+                s.jobs, s.wall_seconds, s.states,
+                s.wall_seconds > 0 ? static_cast<double>(s.states) / s.wall_seconds : 0.0,
+                static_cast<double>(s.peak_visited_bytes) / (1024.0 * 1024.0));
+    std::fflush(stdout);
+    runs.push_back(s);
+  }
+
+  TextTable t({"jobs", "wall (s)", "states/sec", "peak visited (MiB)", "speedup vs jobs=1"});
+  for (const RunSample& s : runs) {
+    char wall[32], rate[32], mem[32], speedup[32];
+    std::snprintf(wall, sizeof(wall), "%.2f", s.wall_seconds);
+    std::snprintf(rate, sizeof(rate), "%.0f",
+                  s.wall_seconds > 0 ? static_cast<double>(s.states) / s.wall_seconds : 0.0);
+    std::snprintf(mem, sizeof(mem), "%.1f",
+                  static_cast<double>(s.peak_visited_bytes) / (1024.0 * 1024.0));
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  s.wall_seconds > 0 ? runs.front().wall_seconds / s.wall_seconds : 0.0);
+    t.add_row({std::to_string(s.jobs), wall, rate, mem, speedup});
+  }
+  std::printf("\nFull-catalog analysis scalability (%s profile, %zu hardware threads)\n%s",
+              profile.name.c_str(), ThreadPool::default_parallelism(), t.render().c_str());
+  std::printf("Reports at every jobs level are identical (determinism contract held).\n");
+
+  if (!json_path.empty()) write_json(json_path, profile.name, runs);
+  return 0;
+}

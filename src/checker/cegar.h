@@ -41,6 +41,10 @@ struct PropertyResult {
 
   int iterations = 0;       // MC runs (1 = no refinement needed)
   double total_seconds = 0; // cumulative MC time
+  /// States explored summed across all MC iterations (throughput metric).
+  std::size_t total_states = 0;
+  /// Largest visited-set footprint any iteration reached (bytes).
+  std::size_t peak_visited_bytes = 0;
   mc::CheckStats last_stats;
   std::string note;  // human-readable outcome detail
 };

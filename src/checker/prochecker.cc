@@ -1,8 +1,10 @@
 #include "checker/prochecker.h"
 
+#include <atomic>
 #include <chrono>
 
 #include "checker/baseline.h"
+#include "common/thread_pool.h"
 
 namespace procheck::checker {
 
@@ -68,21 +70,56 @@ ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
   // (3) Threat instrumentation: IMP^μ = UE^μ ⊗ MME^μ ⊗ Dolev–Yao.
   threat::ThreatModel tm = build_threat_model(report.checking_model);
 
-  // (4) MC ⇄ CPV over the property catalog.
+  // (4) MC ⇄ CPV over the property catalog, fanned across worker threads.
+  //
+  // The unit of parallelism is one property's whole CEGAR loop: refinement
+  // state (banned commands) is strictly per-property, so workers share only
+  // immutables — the ThreatModel, the extracted FSM, and the catalog. The
+  // cryptographic verifier is NOT shared: cpv::Knowledge saturates lazily
+  // behind a const interface (mutable cache), so each worker constructs its
+  // own LteCryptoModel. Results land in a pre-sized vector by catalog
+  // index, making the report byte-identical to a sequential run.
   cpv::LteCryptoModel::Options crypto_options;
   crypto_options.usim_freshness_limit = profile.sqn_freshness_limit.has_value();
-  cpv::LteCryptoModel crypto(crypto_options);
 
   CegarOptions cegar;
   cegar.max_states = options.max_states;
   cegar.max_iterations = options.max_cegar_iterations;
   cegar.max_seconds = options.max_seconds_per_property;
 
+  std::vector<const PropertyDef*> selected;
   for (const PropertyDef& prop : property_catalog()) {
     if (!options.only_properties.empty() && options.only_properties.count(prop.id) == 0) {
       continue;
     }
-    PropertyResult r = check_property(tm, report.checking_model, prop, crypto, cegar);
+    selected.push_back(&prop);
+  }
+
+  std::size_t jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
+                                      : ThreadPool::default_parallelism();
+  std::vector<PropertyResult> results(selected.size());
+  if (jobs <= 1 || selected.size() <= 1) {
+    cpv::LteCryptoModel crypto(crypto_options);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      results[i] = check_property(tm, report.checking_model, *selected[i], crypto, cegar);
+    }
+  } else {
+    if (jobs > selected.size()) jobs = selected.size();
+    ThreadPool pool(jobs);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t w = 0; w < jobs; ++w) {
+      pool.submit([&] {
+        cpv::LteCryptoModel crypto(crypto_options);  // per-worker verifier
+        for (std::size_t i = next.fetch_add(1); i < selected.size();
+             i = next.fetch_add(1)) {
+          results[i] = check_property(tm, report.checking_model, *selected[i], crypto, cegar);
+        }
+      });
+    }
+    pool.wait();
+  }
+
+  for (PropertyResult& r : results) {
     if (r.status == PropertyResult::Status::kAttack && !r.attack_id.empty()) {
       report.attacks_found.insert(r.attack_id);
     }

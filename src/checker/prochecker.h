@@ -31,6 +31,11 @@ struct AnalysisOptions {
   double max_seconds_per_property = 0.0;
   /// Restrict to properties whose id is in this set (empty = all 62).
   std::set<std::string> only_properties;
+  /// Worker threads for the per-property CEGAR fan-out: 0 = one per
+  /// hardware thread, 1 = sequential. The report is byte-identical at any
+  /// value — results land in catalog order and each worker owns its own
+  /// cryptographic verifier (see DESIGN.md §10).
+  int jobs = 0;
 };
 
 struct ImplementationReport {

@@ -63,9 +63,22 @@ mc::EdgePred MetaMatch::compile(const threat::ThreatModel& tm) const {
     std::int32_t value = var >= 0 ? tm.model.value_index(var, value_name) : -1;
     pre.emplace_back(var, value);
   }
+  // The metadata half of the match depends only on the command, never on
+  // the states, so it is decided once per command here rather than once per
+  // explored edge (the checker visits each command millions of times).
+  auto meta_ok = std::make_shared<std::vector<std::uint8_t>>();
+  meta_ok->reserve(tm.model.commands().size());
+  for (const mc::Command& cmd : tm.model.commands()) {
+    meta_ok->push_back(matches_meta(cmd.meta) ? 1 : 0);
+  }
   MetaMatch self = *this;
-  return [self, pre](const mc::State& before, const mc::Command& cmd, const mc::State&) {
-    if (!self.matches_meta(cmd.meta)) return false;
+  return [self = std::move(self), pre, meta_ok](const mc::State& before,
+                                                const mc::Command& cmd, const mc::State&) {
+    if (cmd.index >= 0 && static_cast<std::size_t>(cmd.index) < meta_ok->size()) {
+      if (!(*meta_ok)[cmd.index]) return false;
+    } else if (!self.matches_meta(cmd.meta)) {  // command outside the compiled model
+      return false;
+    }
     for (const auto& [var, value] : pre) {
       if (var < 0 || value < 0 || before[var] != value) return false;
     }

@@ -28,6 +28,7 @@
 #include "checker/prochecker.h"
 #include "checker/report.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "extractor/extractor.h"
 #include "instrument/source_instrumentor.h"
 #include "testing/chaos.h"
@@ -45,8 +46,9 @@ int usage() {
                "  extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]"
                " [--recovery]\n"
                "  analyze --profile <cls|srsue|oai> [--properties <ids>]"
-               " [--freshness-limit <L>] [--max-states <N>] [--budget-seconds <S>]\n"
-               "  chaos --profile <cls|srsue|oai> [--intensity <p>]\n");
+               " [--freshness-limit <L>] [--max-states <N>] [--budget-seconds <S>]"
+               " [--jobs <N>]\n"
+               "  chaos --profile <cls|srsue|oai> [--intensity <p>] [--jobs <N>]\n");
   return 2;
 }
 
@@ -121,6 +123,15 @@ std::optional<double> parse_double(const std::string& text) {
 int bad_option(const char* flag, const std::string& value) {
   std::fprintf(stderr, "invalid value for --%s: '%s'\n", flag, value.c_str());
   return 2;
+}
+
+// --jobs N: worker threads for property/regime fan-out. Defaults to one per
+// hardware thread; 0 or garbage is a usage error like the other numerics.
+std::optional<std::size_t> parse_jobs(const Args& args) {
+  if (!args.has("jobs")) return ThreadPool::default_parallelism();
+  auto v = parse_u64(args.get("jobs"));
+  if (!v || *v == 0 || *v > 1024) return std::nullopt;
+  return static_cast<std::size_t>(*v);
 }
 
 int cmd_instrument(const Args& args) {
@@ -245,6 +256,9 @@ int cmd_analyze(const Args& args) {
       options.only_properties.insert(std::string(trim(id)));
     }
   }
+  auto jobs = parse_jobs(args);
+  if (!jobs) return bad_option("jobs", args.get("jobs"));
+  options.jobs = static_cast<int>(*jobs);
   checker::ImplementationReport rep = checker::ProChecker::analyze(*profile, options);
   threat::ThreatModel tm = checker::ProChecker::build_threat_model(rep.checking_model);
 
@@ -276,8 +290,11 @@ int cmd_chaos(const Args& args) {
     if (!v || *v < 0 || *v > 1) return bad_option("intensity", args.get("intensity"));
     intensity = *v;
   }
+  auto jobs = parse_jobs(args);
+  if (!jobs) return bad_option("jobs", args.get("jobs"));
 
-  std::vector<testing::ChaosReport> reports = testing::run_chaos_matrix(*profile, intensity);
+  std::vector<testing::ChaosReport> reports =
+      testing::run_chaos_matrix(*profile, intensity, *jobs);
   bool all_explained = true;
   for (const testing::ChaosReport& rep : reports) {
     std::printf("%-14s %2d/%2d passed (baseline %2d/%2d), %zu channel faults, FSM %s%s\n",

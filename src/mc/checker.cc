@@ -1,22 +1,12 @@
 #include "mc/checker.h"
 
+#include <algorithm>
 #include <chrono>
-#include <deque>
-#include <unordered_map>
+#include <cstring>
 
 namespace procheck::mc {
 
 namespace {
-
-struct StateHash {
-  std::size_t operator()(const State& s) const {
-    std::size_t h = 0x9E3779B97F4A7C15ULL;
-    for (std::int32_t v : s) {
-      h ^= static_cast<std::size_t>(v) + 0x9E3779B9 + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
 
 class Timer {
  public:
@@ -29,35 +19,222 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
+constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+std::uint64_t hash_state(const std::int32_t* s, std::size_t n) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint32_t>(s[i]);
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+/// Interned visited-state set: every distinct state lives exactly once in a
+/// bump-allocated arena of `stride` int32 slots, identified by a dense
+/// uint32 id; membership is an open-addressing table over those ids keyed
+/// by a 64-bit hash. Replaces unordered_map<State, ...> buckets holding
+/// full vector copies — no per-state heap allocation, no re-hash of whole
+/// states on probe (hashes are memoized per id).
+///
+/// The set also carries the guard cache: for every interned state, one bit
+/// per model command recording whether that command's guard holds. Bits for
+/// a newly reached state are computed incrementally from its BFS parent —
+/// only guards whose precomputed read-set (Model::deps) intersects the
+/// variables the incoming transition actually changed are re-evaluated.
+class StateSpace {
+ public:
+  explicit StateSpace(const Model& model)
+      : model_(model),
+        stride_(model.var_count()),
+        blocks_((model.commands().size() + 63) / 64) {
+    slots_.assign(256, kNoId);
+    mask_ = slots_.size() - 1;
+  }
+
+  std::size_t blocks() const { return blocks_; }
+  std::size_t size() const { return hashes_.size(); }
+
+  /// Bytes retained by the arena, hash table and guard cache.
+  std::size_t bytes() const {
+    return arena_.capacity() * sizeof(std::int32_t) +
+           hashes_.capacity() * sizeof(std::uint64_t) +
+           slots_.capacity() * sizeof(std::uint32_t) +
+           guard_bits_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Interns `s`. Existing state: returns its id with *inserted = false.
+  /// New state under `cap`: appends it (computing guard bits from
+  /// `parent_bits` + `changed`, or from scratch when parent_bits is null)
+  /// and returns the fresh id with *inserted = true. New state at the cap:
+  /// returns kNoId without inserting.
+  std::uint32_t intern(const State& s, std::size_t cap, bool* inserted,
+                       const std::uint64_t* parent_bits, std::uint64_t changed) {
+    std::uint64_t h = hash_state(s.data(), stride_);
+    std::size_t slot = h & mask_;
+    for (;;) {
+      std::uint32_t id = slots_[slot];
+      if (id == kNoId) break;
+      if (hashes_[id] == h &&
+          std::memcmp(arena_.data() + std::size_t(id) * stride_, s.data(),
+                      stride_ * sizeof(std::int32_t)) == 0) {
+        *inserted = false;
+        return id;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    if (hashes_.size() >= cap) {
+      *inserted = false;
+      return kNoId;
+    }
+    std::uint32_t id = static_cast<std::uint32_t>(hashes_.size());
+    arena_.insert(arena_.end(), s.begin(), s.end());
+    hashes_.push_back(h);
+    slots_[slot] = id;
+    append_guard_bits(s, parent_bits, changed);
+    if (hashes_.size() * 10 >= slots_.size() * 7) grow();
+    *inserted = true;
+    return id;
+  }
+
+  const std::int32_t* state_data(std::uint32_t id) const {
+    return arena_.data() + std::size_t(id) * stride_;
+  }
+
+  State state(std::uint32_t id) const {
+    const std::int32_t* p = state_data(id);
+    return State(p, p + stride_);
+  }
+
+  void copy_state(std::uint32_t id, State& out) const {
+    const std::int32_t* p = state_data(id);
+    out.assign(p, p + stride_);
+  }
+
+  void copy_guard_bits(std::uint32_t id, std::vector<std::uint64_t>& out) const {
+    const std::uint64_t* p = guard_bits_.data() + std::size_t(id) * blocks_;
+    out.assign(p, p + blocks_);
+  }
+
+ private:
+  void append_guard_bits(const State& s, const std::uint64_t* parent_bits,
+                         std::uint64_t changed) {
+    const std::vector<Command>& commands = model_.commands();
+    const std::vector<CommandDeps>& deps = model_.deps();
+    std::size_t base = guard_bits_.size();
+    guard_bits_.resize(base + blocks_, 0);
+    for (std::size_t j = 0; j < commands.size(); ++j) {
+      bool enabled;
+      if (parent_bits && (deps[j].guard_reads & changed) == 0) {
+        enabled = (parent_bits[j >> 6] >> (j & 63)) & 1;
+      } else {
+        enabled = commands[j].guard.eval(s);
+      }
+      if (enabled) guard_bits_[base + (j >> 6)] |= 1ull << (j & 63);
+    }
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> fresh(slots_.size() * 2, kNoId);
+    std::size_t mask = fresh.size() - 1;
+    for (std::uint32_t id = 0; id < hashes_.size(); ++id) {
+      std::size_t slot = hashes_[id] & mask;
+      while (fresh[slot] != kNoId) slot = (slot + 1) & mask;
+      fresh[slot] = id;
+    }
+    slots_ = std::move(fresh);
+    mask_ = mask;
+  }
+
+  const Model& model_;
+  std::size_t stride_;
+  std::size_t blocks_;
+  std::vector<std::int32_t> arena_;     // size() * stride_ values
+  std::vector<std::uint64_t> hashes_;   // memoized hash per id
+  std::vector<std::uint32_t> slots_;    // open addressing: id or kNoId
+  std::size_t mask_ = 0;
+  std::vector<std::uint64_t> guard_bits_;  // size() * blocks_ words
+};
+
+/// Applies `cmd` to `pre` (into `next`, which must already equal `pre`) and
+/// returns the mask of variables whose value actually changed.
+std::uint64_t apply_command(const Command& cmd, const State& pre, State& next) {
+  std::uint64_t changed = 0;
+  for (const Assign& a : cmd.updates) {
+    next[a.var] = a.src >= 0 ? pre[a.src] : a.value;
+  }
+  for (const Assign& a : cmd.updates) {
+    if (next[a.var] != pre[a.var]) changed |= var_bit(a.var);
+  }
+  return changed;
+}
+
+/// Iterates the set bits of a guard-bit vector: fn(command_index).
+template <typename Fn>
+void for_enabled(const std::vector<std::uint64_t>& bits, std::size_t n_commands, Fn&& fn) {
+  for (std::size_t block = 0; block < bits.size(); ++block) {
+    std::uint64_t word = bits[block];
+    while (word != 0) {
+      std::size_t j = block * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      if (j >= n_commands) return;
+      fn(j);
+    }
+  }
+}
+
 }  // namespace
 
 std::string CounterExample::render(const Model& model) const {
   std::string out;
+  out.reserve(steps.size() * 128 + 64);
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (loop_start >= 0 && static_cast<int>(i) == loop_start) {
       out += "  -- loop starts here --\n";
     }
-    out += "  " + std::to_string(i + 1) + ". " + steps[i].label + "\n";
-    out += "       " + model.render_state(steps[i].post) + "\n";
+    out += "  ";
+    out += std::to_string(i + 1);
+    out += ". ";
+    out += steps[i].label;
+    out += "\n       ";
+    out += model.render_state(steps[i].post);
+    out += "\n";
   }
   if (loop_start >= 0) out += "  -- loop repeats forever --\n";
   return out;
 }
 
 std::string CounterExample::to_dot(const Model& model) const {
-  std::string out = "digraph counterexample {\n  rankdir=TB;\n  node [shape=box];\n";
-  out += "  s0 [label=\"" + model.render_state(model.initial()) + "\", fontsize=9];\n";
+  std::string out;
+  out.reserve(steps.size() * 192 + 128);
+  out += "digraph counterexample {\n  rankdir=TB;\n  node [shape=box];\n";
+  out += "  s0 [label=\"";
+  out += model.render_state(model.initial());
+  out += "\", fontsize=9];\n";
   for (std::size_t i = 0; i < steps.size(); ++i) {
-    std::string id = "s" + std::to_string(i + 1);
-    out += "  " + id + " [label=\"" + model.render_state(steps[i].post) +
-           "\", fontsize=9];\n";
+    out += "  s";
+    out += std::to_string(i + 1);
+    out += " [label=\"";
+    out += model.render_state(steps[i].post);
+    out += "\", fontsize=9];\n";
     bool adversarial = steps[i].meta.actor == CommandMeta::Actor::kAdversary;
-    out += "  s" + std::to_string(i) + " -> " + id + " [label=\"" + steps[i].label +
-           "\"" + (adversarial ? ", color=red, fontcolor=red" : "") + "];\n";
+    out += "  s";
+    out += std::to_string(i);
+    out += " -> s";
+    out += std::to_string(i + 1);
+    out += " [label=\"";
+    out += steps[i].label;
+    out += "\"";
+    if (adversarial) out += ", color=red, fontcolor=red";
+    out += "];\n";
   }
   if (loop_start >= 0 && !steps.empty()) {
-    out += "  s" + std::to_string(steps.size()) + " -> s" + std::to_string(loop_start) +
-           " [style=dashed, label=\"loop\"];\n";
+    out += "  s";
+    out += std::to_string(steps.size());
+    out += " -> s";
+    out += std::to_string(loop_start);
+    out += " [style=dashed, label=\"loop\"];\n";
   }
   out += "}\n";
   return out;
@@ -78,81 +255,101 @@ namespace {
 /// Shared BFS core: explores until `stop(pre, cmd, post)` says the offending
 /// edge was found (post may equal pre for state-violations encoded as edge
 /// checks on arrival).
+///
+/// Per-node bookkeeping is two ints (BFS parent + incoming command index);
+/// the trace's labels/metadata are copied out of the model's commands only
+/// when a counterexample is actually reconstructed, never per visited state.
 std::optional<CounterExample> bfs_search(
     const Model& model, const CheckOptions& options, CheckStats* stats,
     const std::function<bool(const State&)>& bad_state,
     const EdgePred* bad_edge) {
   Timer timer;
   struct NodeInfo {
-    std::int64_t parent = -1;
-    std::string label;
-    CommandMeta meta;
+    std::uint32_t parent = kNoId;
+    std::int32_t cmd = -1;  // index into model.commands(); -1 for the root
   };
-  std::unordered_map<State, std::int64_t, StateHash> index;
-  std::vector<State> states;
+  const std::vector<Command>& commands = model.commands();
+  StateSpace space(model);
   std::vector<NodeInfo> info;
-  std::deque<std::int64_t> queue;
+  std::vector<std::uint32_t> frontier;  // FIFO: consumed from `head`
+  std::size_t head = 0;
 
-  auto build_trace = [&](std::int64_t node, std::optional<TraceStep> extra) {
+  auto build_trace = [&](std::uint32_t node, std::optional<TraceStep> extra) {
     std::vector<TraceStep> rev;
-    for (std::int64_t at = node; at >= 0 && info[at].parent >= 0; at = info[at].parent) {
-      rev.push_back({info[at].label, info[at].meta, states[at]});
+    for (std::uint32_t at = node; at != kNoId && info[at].cmd >= 0; at = info[at].parent) {
+      const Command& cmd = commands[info[at].cmd];
+      rev.push_back({cmd.label, cmd.meta, space.state(at)});
     }
     CounterExample cex;
-    cex.steps.assign(rev.rbegin(), rev.rend());
+    cex.steps.assign(std::make_move_iterator(rev.rbegin()),
+                     std::make_move_iterator(rev.rend()));
     if (extra) cex.steps.push_back(std::move(*extra));
     return cex;
   };
 
+  auto finish_stats = [&] {
+    if (stats) {
+      stats->states_explored = space.size();
+      stats->visited_bytes = space.bytes() + info.capacity() * sizeof(NodeInfo) +
+                             frontier.capacity() * sizeof(std::uint32_t);
+      stats->seconds = timer.seconds();
+    }
+  };
+
   State init = model.initial();
-  states.push_back(init);
+  bool inserted = false;
+  space.intern(init, options.max_states, &inserted, nullptr, 0);
   info.push_back({});
-  index.emplace(init, 0);
-  queue.push_back(0);
+  frontier.push_back(0);
 
   if (bad_state && bad_state(init)) {
-    if (stats) stats->seconds = timer.seconds(), stats->states_explored = 1;
+    finish_stats();
     return CounterExample{};
   }
 
+  State pre(model.var_count(), 0);
+  State next(model.var_count(), 0);
+  std::vector<std::uint64_t> pre_bits(space.blocks(), 0);
+
   std::optional<CounterExample> result;
-  while (!queue.empty() && !result) {
+  while (head < frontier.size() && !result) {
     if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
       if (stats) stats->deadline_hit = true;
       break;
     }
-    std::int64_t at = queue.front();
-    queue.pop_front();
-    State current = states[at];  // copy: `states` may reallocate in the callback
-    model.successors(current, [&](const State& next, const Command& cmd) {
+    std::uint32_t at = frontier[head++];
+    // Local copies: the arena and guard cache may reallocate on insert.
+    space.copy_state(at, pre);
+    space.copy_guard_bits(at, pre_bits);
+    for_enabled(pre_bits, commands.size(), [&](std::size_t j) {
       if (result) return;
-      if (options.allowed && !options.allowed(current, cmd, next)) return;
+      const Command& cmd = commands[j];
+      next = pre;
+      std::uint64_t changed = apply_command(cmd, pre, next);
+      if (options.allowed && !options.allowed(pre, cmd, next)) return;
       if (stats) ++stats->edges_explored;
-      if (bad_edge && (*bad_edge)(current, cmd, next)) {
+      if (bad_edge && (*bad_edge)(pre, cmd, next)) {
         result = build_trace(at, TraceStep{cmd.label, cmd.meta, next});
         return;
       }
-      auto [it, inserted] = index.emplace(next, static_cast<std::int64_t>(states.size()));
-      if (!inserted) return;
-      if (states.size() >= options.max_states) {
+      bool fresh = false;
+      std::uint32_t id =
+          space.intern(next, options.max_states, &fresh, pre_bits.data(), changed);
+      if (id == kNoId) {
         if (stats) stats->bound_hit = true;
-        index.erase(it);
         return;
       }
-      states.push_back(next);
-      info.push_back({at, cmd.label, cmd.meta});
+      if (!fresh) return;
+      info.push_back({at, static_cast<std::int32_t>(j)});
       if (bad_state && bad_state(next)) {
-        result = build_trace(static_cast<std::int64_t>(states.size()) - 1, std::nullopt);
+        result = build_trace(id, std::nullopt);
         return;
       }
-      queue.push_back(static_cast<std::int64_t>(states.size()) - 1);
+      frontier.push_back(id);
     });
   }
 
-  if (stats) {
-    stats->states_explored = states.size();
-    stats->seconds = timer.seconds();
-  }
+  finish_stats();
   return result;
 }
 
@@ -176,104 +373,140 @@ std::optional<CounterExample> Checker::check_edge_never(const EdgePred& bad, Che
 // is a reachable cycle lying entirely inside pending=true nodes (any
 // response inside the cycle would clear the bit). Deadlocked model states
 // stutter, so a dead end with a pending obligation is also a violation.
+//
+// Model states are interned once in the StateSpace; product nodes reference
+// them by id, and the product index is a dense per-state pair of node ids
+// (pending=0/1) — no hashing of state vectors anywhere in the product.
 
 std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
                                                       const EdgePred& response,
                                                       CheckStats* stats,
                                                       const CheckOptions& options) const {
   Timer timer;
+  constexpr std::int32_t kStutter = -1;
   struct Node {
-    State state;
+    std::uint32_t state;
     bool pending;
   };
   struct NodeInfo {
-    std::int64_t parent = -1;
-    std::string label;
-    CommandMeta meta;
+    std::uint32_t parent = kNoId;
+    std::int32_t cmd = -1;
   };
-  struct ProductHash {
-    std::size_t operator()(const std::pair<State, bool>& n) const {
-      return StateHash{}(n.first) * 2 + (n.second ? 1 : 0);
-    }
-  };
+  const std::vector<Command>& commands = model_.commands();
+  StateSpace space(model_);
 
-  std::unordered_map<std::pair<State, bool>, std::int64_t, ProductHash> index;
   std::vector<Node> nodes;
   std::vector<NodeInfo> info;
-  // Edges among pending=true nodes (candidates for the violating cycle).
-  std::vector<std::vector<std::pair<std::int64_t, std::size_t>>> pending_edges;
-  struct EdgeLabel {
-    std::string label;
-    CommandMeta meta;
-  };
-  std::vector<EdgeLabel> edge_labels;
+  /// node_of[state_id][pending] — product index without hashing.
+  std::vector<std::array<std::uint32_t, 2>> node_of;
+  // Edges among pending=true nodes (candidates for the violating cycle):
+  // (target node, command index or kStutter).
+  std::vector<std::vector<std::pair<std::uint32_t, std::int32_t>>> pending_edges;
+  std::vector<std::uint32_t> frontier;
+  std::size_t head = 0;
 
-  std::deque<std::int64_t> queue;
-  auto add_node = [&](State s, bool pending, std::int64_t parent, std::string label,
-                      CommandMeta meta) -> std::int64_t {
-    auto key = std::make_pair(s, pending);
-    auto [it, inserted] = index.emplace(key, static_cast<std::int64_t>(nodes.size()));
-    if (!inserted) return it->second;
+  auto edge_label = [&](std::int32_t cmd) -> std::string {
+    return cmd == kStutter ? "(stutter)" : commands[cmd].label;
+  };
+  auto edge_meta = [&](std::int32_t cmd) -> CommandMeta {
+    return cmd == kStutter ? CommandMeta{} : commands[cmd].meta;
+  };
+
+  auto finish_stats = [&] {
+    if (stats) {
+      stats->states_explored = nodes.size();
+      stats->visited_bytes =
+          space.bytes() + nodes.capacity() * sizeof(Node) +
+          info.capacity() * sizeof(NodeInfo) +
+          node_of.capacity() * sizeof(std::array<std::uint32_t, 2>) +
+          pending_edges.capacity() *
+              sizeof(std::vector<std::pair<std::uint32_t, std::int32_t>>) +
+          frontier.capacity() * sizeof(std::uint32_t);
+      stats->seconds = timer.seconds();
+    }
+  };
+
+  // Interns the model state, then adds/returns the product node for
+  // (state, pending). Returns kNoId when a budget rejects it.
+  auto add_node = [&](const State& s, const std::uint64_t* parent_bits,
+                      std::uint64_t changed, bool pending, std::uint32_t parent,
+                      std::int32_t cmd) -> std::uint32_t {
+    bool fresh = false;
+    std::uint32_t sid = space.intern(s, options.max_states, &fresh, parent_bits, changed);
+    if (sid == kNoId) {
+      if (stats) stats->bound_hit = true;
+      return kNoId;
+    }
+    if (fresh) node_of.push_back({kNoId, kNoId});
+    std::uint32_t& slot = node_of[sid][pending ? 1 : 0];
+    if (slot != kNoId) return slot;
     if (nodes.size() >= options.max_states) {
       if (stats) stats->bound_hit = true;
-      index.erase(it);
-      return -1;
+      return kNoId;
     }
-    nodes.push_back({std::move(s), pending});
-    info.push_back({parent, std::move(label), std::move(meta)});
+    slot = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back({sid, pending});
+    info.push_back({parent, cmd});
     pending_edges.emplace_back();
-    queue.push_back(static_cast<std::int64_t>(nodes.size()) - 1);
-    return static_cast<std::int64_t>(nodes.size()) - 1;
+    frontier.push_back(slot);
+    return slot;
   };
 
-  add_node(model_.initial(), false, -1, {}, {});
+  State init = model_.initial();
+  add_node(init, nullptr, 0, false, kNoId, -1);
 
-  while (!queue.empty()) {
+  State pre(model_.var_count(), 0);
+  State next(model_.var_count(), 0);
+  std::vector<std::uint64_t> pre_bits(space.blocks(), 0);
+
+  while (head < frontier.size()) {
     if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
       if (stats) stats->deadline_hit = true;
       break;
     }
-    std::int64_t at = queue.front();
-    queue.pop_front();
-    const State current = nodes[at].state;
+    std::uint32_t at = frontier[head++];
     const bool pending = nodes[at].pending;
+    space.copy_state(nodes[at].state, pre);
+    space.copy_guard_bits(nodes[at].state, pre_bits);
 
     bool any_successor = false;
-    model_.successors(current, [&](const State& next, const Command& cmd) {
-      if (options.allowed && !options.allowed(current, cmd, next)) return;
+    for_enabled(pre_bits, commands.size(), [&](std::size_t j) {
+      const Command& cmd = commands[j];
+      next = pre;
+      std::uint64_t changed = apply_command(cmd, pre, next);
+      if (options.allowed && !options.allowed(pre, cmd, next)) return;
       any_successor = true;
       if (stats) ++stats->edges_explored;
-      bool trig = trigger(current, cmd, next);
-      bool resp = response(current, cmd, next);
+      bool trig = trigger(pre, cmd, next);
+      bool resp = response(pre, cmd, next);
       bool next_pending = (pending || trig) && !resp;
-      std::int64_t to = add_node(next, next_pending, at, cmd.label, cmd.meta);
-      if (to < 0) return;
+      std::uint32_t to = add_node(next, pre_bits.data(), changed, next_pending, at,
+                                  static_cast<std::int32_t>(j));
+      if (to == kNoId) return;
       if (pending && next_pending) {
-        edge_labels.push_back({cmd.label, cmd.meta});
-        pending_edges[at].push_back({to, edge_labels.size() - 1});
+        pending_edges[at].push_back({to, static_cast<std::int32_t>(j)});
       }
     });
     if (!any_successor && pending) {
       // Deadlock with an unanswered trigger: stutter self-loop.
-      edge_labels.push_back({"(stutter)", {}});
-      pending_edges[at].push_back({at, edge_labels.size() - 1});
+      pending_edges[at].push_back({at, kStutter});
     }
   }
 
   // Cycle detection restricted to pending=true nodes (iterative DFS).
   std::vector<std::uint8_t> color(nodes.size(), 0);  // 0 white, 1 grey, 2 black
-  for (std::int64_t root = 0; root < static_cast<std::int64_t>(nodes.size()); ++root) {
+  for (std::uint32_t root = 0; root < nodes.size(); ++root) {
     if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
       if (stats) stats->deadline_hit = true;
       break;
     }
     if (!nodes[root].pending || color[root] != 0) continue;
     struct Frame {
-      std::int64_t node;
+      std::uint32_t node;
       std::size_t next_edge = 0;
-      std::size_t via_label = 0;  // edge label used to reach this node
+      std::int32_t via_cmd = kStutter;  // edge used to reach this node
     };
-    std::vector<Frame> stack{{root, 0, 0}};
+    std::vector<Frame> stack{{root, 0, kStutter}};
     color[root] = 1;
     while (!stack.empty()) {
       Frame& f = stack.back();
@@ -282,16 +515,18 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
         stack.pop_back();
         continue;
       }
-      auto [to, label_idx] = pending_edges[f.node][f.next_edge++];
+      auto [to, via] = pending_edges[f.node][f.next_edge++];
       if (color[to] == 1) {
         // Found a cycle: stack from `to` upward + the closing edge.
         CounterExample cex;
         // Prefix: initial -> `to` via BFS parents.
         std::vector<TraceStep> rev;
-        for (std::int64_t n = to; n >= 0 && info[n].parent >= 0; n = info[n].parent) {
-          rev.push_back({info[n].label, info[n].meta, nodes[n].state});
+        for (std::uint32_t n = to; n != kNoId && info[n].cmd >= 0; n = info[n].parent) {
+          const Command& cmd = commands[info[n].cmd];
+          rev.push_back({cmd.label, cmd.meta, space.state(nodes[n].state)});
         }
-        cex.steps.assign(rev.rbegin(), rev.rend());
+        cex.steps.assign(std::make_move_iterator(rev.rbegin()),
+                         std::make_move_iterator(rev.rend()));
         cex.loop_start = static_cast<int>(cex.steps.size());
         // Loop body: the DFS stack segment from `to` to the top, then back.
         std::size_t start = 0;
@@ -299,28 +534,21 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
           if (stack[i].node == to) start = i;
         }
         for (std::size_t i = start + 1; i < stack.size(); ++i) {
-          cex.steps.push_back({edge_labels[stack[i].via_label].label,
-                               edge_labels[stack[i].via_label].meta, nodes[stack[i].node].state});
+          cex.steps.push_back({edge_label(stack[i].via_cmd), edge_meta(stack[i].via_cmd),
+                               space.state(nodes[stack[i].node].state)});
         }
-        cex.steps.push_back({edge_labels[label_idx].label, edge_labels[label_idx].meta,
-                             nodes[to].state});
-        if (stats) {
-          stats->states_explored = nodes.size();
-          stats->seconds = timer.seconds();
-        }
+        cex.steps.push_back({edge_label(via), edge_meta(via), space.state(nodes[to].state)});
+        finish_stats();
         return cex;
       }
       if (color[to] == 0) {
         color[to] = 1;
-        stack.push_back({to, 0, label_idx});
+        stack.push_back({to, 0, via});
       }
     }
   }
 
-  if (stats) {
-    stats->states_explored = nodes.size();
-    stats->seconds = timer.seconds();
-  }
+  finish_stats();
   return std::nullopt;
 }
 

@@ -76,6 +76,27 @@ Expr Expr::any(std::vector<Expr> exprs) {
   return acc;
 }
 
+void Expr::collect_vars(std::vector<int>& out) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return;
+    case Kind::kEq:
+    case Kind::kNe:
+    case Kind::kLt:
+    case Kind::kGt:
+      out.push_back(var_);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      lhs_->collect_vars(out);
+      rhs_->collect_vars(out);
+      return;
+    case Kind::kNot:
+      lhs_->collect_vars(out);
+      return;
+  }
+}
+
 bool Expr::eval(const State& s) const {
   switch (kind_) {
     case Kind::kConst:
@@ -107,7 +128,16 @@ int Model::add_var(const std::string& name, std::int32_t domain, std::int32_t in
   return static_cast<int>(names_.size()) - 1;
 }
 
-void Model::add_command(Command cmd) { commands_.push_back(std::move(cmd)); }
+void Model::add_command(Command cmd) {
+  cmd.index = static_cast<std::int32_t>(commands_.size());
+  CommandDeps deps;
+  std::vector<int> read;
+  cmd.guard.collect_vars(read);
+  for (int v : read) deps.guard_reads |= var_bit(v);
+  for (const Assign& a : cmd.updates) deps.writes |= var_bit(a.var);
+  deps_.push_back(deps);
+  commands_.push_back(std::move(cmd));
+}
 
 int Model::var(const std::string& name) const {
   for (std::size_t i = 0; i < names_.size(); ++i) {

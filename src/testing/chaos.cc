@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/thread_pool.h"
 #include "extractor/extractor.h"
 
 namespace procheck::testing {
@@ -97,11 +98,13 @@ ChaosReport run_conformance_chaos(const ue::StackProfile& profile, const ChaosRe
   return report;
 }
 
-std::vector<ChaosReport> run_chaos_matrix(const ue::StackProfile& profile, double intensity) {
-  std::vector<ChaosReport> reports;
-  for (const ChaosRegime& regime : chaos_regimes(intensity)) {
-    reports.push_back(run_conformance_chaos(profile, regime));
-  }
+std::vector<ChaosReport> run_chaos_matrix(const ue::StackProfile& profile, double intensity,
+                                          std::size_t jobs) {
+  std::vector<ChaosRegime> regimes = chaos_regimes(intensity);
+  std::vector<ChaosReport> reports(regimes.size());
+  parallel_for(jobs, regimes.size(), [&](std::size_t i) {
+    reports[i] = run_conformance_chaos(profile, regimes[i]);
+  });
   return reports;
 }
 

@@ -57,8 +57,11 @@ struct ChaosReport {
 /// both logs, and diagnoses every divergence.
 ChaosReport run_conformance_chaos(const ue::StackProfile& profile, const ChaosRegime& regime);
 
-/// run_conformance_chaos over the whole chaos_regimes matrix.
+/// run_conformance_chaos over the whole chaos_regimes matrix. Regimes are
+/// independent (each run owns its loggers and seeded channels), so they fan
+/// across `jobs` worker threads; reports keep matrix order regardless of
+/// completion order. jobs <= 1 runs inline on the calling thread.
 std::vector<ChaosReport> run_chaos_matrix(const ue::StackProfile& profile,
-                                          double intensity = 0.1);
+                                          double intensity = 0.1, std::size_t jobs = 1);
 
 }  // namespace procheck::testing

@@ -354,5 +354,71 @@ TEST(CegarBudget, DefaultBudgetsAreConclusiveAcrossTheCatalog) {
   }
 }
 
+// --- Parallel analysis: determinism contract ------------------------------------
+//
+// The fan-out in ProChecker::analyze must be invisible in the output: the
+// jobs=N report equals the jobs=1 report field for field — statuses in
+// catalog order, refinement strings, counterexample step labels, notes,
+// and the attacks_found set. (DESIGN.md §10.)
+
+void expect_reports_identical(const ImplementationReport& seq,
+                              const ImplementationReport& par) {
+  EXPECT_EQ(seq.attacks_found, par.attacks_found);
+  ASSERT_EQ(seq.results.size(), par.results.size());
+  for (std::size_t i = 0; i < seq.results.size(); ++i) {
+    const PropertyResult& a = seq.results[i];
+    const PropertyResult& b = par.results[i];
+    EXPECT_EQ(a.property_id, b.property_id) << "catalog order differs at " << i;
+    EXPECT_EQ(a.status, b.status) << a.property_id;
+    EXPECT_EQ(a.attack_id, b.attack_id) << a.property_id;
+    EXPECT_EQ(a.refinements, b.refinements) << a.property_id;
+    EXPECT_EQ(a.note, b.note) << a.property_id;
+    EXPECT_EQ(a.iterations, b.iterations) << a.property_id;
+    EXPECT_EQ(a.total_states, b.total_states) << a.property_id;
+    EXPECT_EQ(a.counterexample.has_value(), b.counterexample.has_value()) << a.property_id;
+    if (a.counterexample && b.counterexample) {
+      EXPECT_EQ(a.counterexample->loop_start, b.counterexample->loop_start) << a.property_id;
+      ASSERT_EQ(a.counterexample->steps.size(), b.counterexample->steps.size())
+          << a.property_id;
+      for (std::size_t s = 0; s < a.counterexample->steps.size(); ++s) {
+        EXPECT_EQ(a.counterexample->steps[s].label, b.counterexample->steps[s].label)
+            << a.property_id << " step " << s;
+        EXPECT_EQ(a.counterexample->steps[s].post, b.counterexample->steps[s].post)
+            << a.property_id << " step " << s;
+      }
+    }
+    EXPECT_EQ(a.equivalence.has_value(), b.equivalence.has_value()) << a.property_id;
+    if (a.equivalence && b.equivalence) {
+      EXPECT_EQ(a.equivalence->distinguishable, b.equivalence->distinguishable)
+          << a.property_id;
+      EXPECT_EQ(a.equivalence->reason, b.equivalence->reason) << a.property_id;
+    }
+  }
+}
+
+// Fast contract check over a property subset covering every verdict path
+// (attack, CEGAR-verified, liveness lasso, linkability, not-applicable).
+// This is the test the `tsan` ctest entry runs under ThreadSanitizer.
+TEST(ParallelAnalysis, SubsetDeterminism) {
+  AnalysisOptions options;
+  options.only_properties = {"S01", "S02", "S05", "S20", "P01", "P04", "P11"};
+  options.jobs = 1;
+  ImplementationReport seq = ProChecker::analyze(ue::StackProfile::cls(), options);
+  options.jobs = 4;
+  ImplementationReport par = ProChecker::analyze(ue::StackProfile::cls(), options);
+  EXPECT_EQ(seq.results.size(), options.only_properties.size());
+  expect_reports_identical(seq, par);
+}
+
+TEST(ParallelAnalysis, FullCatalogMatchesSequential) {
+  AnalysisOptions options;
+  options.jobs = 1;
+  ImplementationReport seq = ProChecker::analyze(ue::StackProfile::cls(), options);
+  options.jobs = 4;
+  ImplementationReport par = ProChecker::analyze(ue::StackProfile::cls(), options);
+  EXPECT_EQ(seq.results.size(), property_catalog().size());
+  expect_reports_identical(seq, par);
+}
+
 }  // namespace
 }  // namespace procheck::checker

@@ -349,6 +349,120 @@ TEST(Response, AllowedFilterAppliesToLiveness) {
   EXPECT_FALSE(cex.has_value());
 }
 
+// --- Interned-state kernel: search equivalence pins -----------------------------
+//
+// The visited set is an interned arena + open-addressing table with an
+// incrementally maintained guard cache (guards are only re-evaluated when a
+// transition changed a variable their read-set mentions). These tests pin
+// exact visited counts so any rewrite that silently explores a different
+// state space — over- or under-approximating — fails loudly.
+
+// Two independent toggles: 4 reachable states, discovered over 8 edges,
+// with every non-initial state reachable along two paths (dedup must fire).
+Model toggle_model() {
+  Model m;
+  int a = m.add_var("a", 2, 0);
+  int b = m.add_var("b", 2, 0);
+  for (std::int32_t v = 0; v < 2; ++v) {
+    Command ca;
+    ca.label = "a" + std::to_string(v);
+    ca.guard = Expr::eq(a, v);
+    ca.updates = {{a, 1 - v}};
+    m.add_command(std::move(ca));
+    Command cb;
+    cb.label = "b" + std::to_string(v);
+    cb.guard = Expr::eq(b, v);
+    cb.updates = {{b, 1 - v}};
+    m.add_command(std::move(cb));
+  }
+  return m;
+}
+
+TEST(Kernel, VisitedStateCountsArePinned) {
+  CheckStats stats;
+  auto cex = Checker(ring_model()).check_invariant(Expr::lt(0, 3), &stats);
+  EXPECT_FALSE(cex.has_value());
+  EXPECT_EQ(stats.states_explored, 3u);
+  EXPECT_EQ(stats.edges_explored, 3u);
+
+  CheckStats toggles;
+  cex = Checker(toggle_model()).check_invariant(Expr::constant(true), &toggles);
+  EXPECT_FALSE(cex.has_value());
+  EXPECT_EQ(toggles.states_explored, 4u);  // interning dedups the merged paths
+  EXPECT_EQ(toggles.edges_explored, 8u);   // 2 enabled commands per state
+}
+
+TEST(Kernel, CommandDepsCoverGuardReadsAndWrites) {
+  Model m = toggle_model();
+  ASSERT_EQ(m.deps().size(), 4u);
+  EXPECT_EQ(m.deps()[0].guard_reads, var_bit(0));  // a0 reads a
+  EXPECT_EQ(m.deps()[0].writes, var_bit(0));       // a0 writes a
+  EXPECT_EQ(m.deps()[1].guard_reads, var_bit(1));  // b0 reads b
+  EXPECT_EQ(m.commands()[2].index, 2);
+  std::vector<int> read;
+  Expr::land(Expr::eq(0, 1), Expr::lnot(Expr::ne(1, 0))).collect_vars(read);
+  EXPECT_EQ(read, (std::vector<int>{0, 1}));
+}
+
+TEST(Kernel, SameValueWritesDoNotCreateNewStates) {
+  // A command that assigns a variable its current value produces a
+  // successor identical to the pre-state. The changed-mask is computed
+  // from values (not from the static write-set), so the guard cache stays
+  // consistent and the successor simply dedups onto its source.
+  Model m = ring_model();
+  Command noop;
+  noop.label = "noop";
+  noop.guard = Expr::eq(0, 0);
+  noop.updates = {{0, 0}};  // pos := pos (it is 0 whenever enabled)
+  m.add_command(std::move(noop));
+  CheckStats stats;
+  auto cex = Checker(m).check_invariant(Expr::lt(0, 3), &stats);
+  EXPECT_FALSE(cex.has_value());
+  EXPECT_EQ(stats.states_explored, 3u);  // noop adds edges, never states
+  EXPECT_EQ(stats.edges_explored, 4u);
+}
+
+TEST(Kernel, GuardsOnUnchangedVariablesStayCached) {
+  // `watch` fires only while b stays at its initial value; commands
+  // touching `a` must not disturb the cached b-guards. If the pruned
+  // evaluation were wrong in either direction the reachable set would
+  // change: 4 toggle states plus the c=1 variants reached via watch.
+  Model m = toggle_model();
+  int c = m.add_var("c", 2, 0);
+  Command watch;
+  watch.label = "watch";
+  watch.guard = Expr::land(Expr::eq(1, 0), Expr::eq(c, 0));  // reads b and c only
+  watch.updates = {{c, 1}};
+  m.add_command(std::move(watch));
+  CheckStats stats;
+  auto cex = Checker(m).check_invariant(Expr::constant(true), &stats);
+  EXPECT_FALSE(cex.has_value());
+  // States: (a,b,c) with c=0: all 4; c=1 reachable only from b=0: (0,0,1),
+  // (1,0,1), then b toggles freely: (0,1,1), (1,1,1) -> 8 total.
+  EXPECT_EQ(stats.states_explored, 8u);
+}
+
+TEST(Kernel, VisitedBytesAreReported) {
+  CheckStats stats;
+  Checker(toggle_model()).check_invariant(Expr::constant(true), &stats);
+  EXPECT_GT(stats.visited_bytes, 0u);
+
+  CheckStats lasso;
+  Model rm = request_model(/*with_lazy_loop=*/true);
+  Checker(rm).check_response(label_is("request"), label_is("respond"), &lasso);
+  EXPECT_GT(lasso.visited_bytes, 0u);
+}
+
+TEST(Kernel, LivenessProductCountsArePinned) {
+  // request_model explores exactly two product nodes: (idle, clear) and
+  // (waiting, pending); respond folds back onto the initial node.
+  Model m = request_model(/*with_lazy_loop=*/true);
+  CheckStats stats;
+  auto cex = Checker(m).check_response(label_is("request"), label_is("respond"), &stats);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(stats.states_explored, 2u);
+}
+
 TEST(Trace, DotExportHighlightsAdversaryAndLoop) {
   Model m = request_model(/*with_lazy_loop=*/true);
   Checker checker(m);
