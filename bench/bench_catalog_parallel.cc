@@ -4,17 +4,24 @@
 // and the peak visited-set footprint of any single property search.
 //
 //   bench_catalog_parallel [--profile <cls|srsue|oai>] [--write-json <path>]
+//                          [--supervised]
 //
 // --write-json emits BENCH_catalog.json (machine-readable trajectory file;
 // run from the repo root to place it there). Every run's report is checked
 // against the jobs=1 report — a determinism violation fails the benchmark.
+//
+// --supervised additionally measures the fault-free cost of the analysis
+// supervisor (retries armed + durable journal) against an adjacent jobs=1
+// baseline and fails the benchmark if the overhead exceeds 3%.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "checker/prochecker.h"
+#include "common/journal.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 
@@ -51,9 +58,12 @@ std::string fingerprint(const checker::ImplementationReport& rep) {
   return out;
 }
 
-RunSample run_catalog(const ue::StackProfile& profile, int jobs, std::string* print) {
+RunSample run_catalog(const ue::StackProfile& profile, int jobs, std::string* print,
+                      const std::string& journal_path = {}, int retries = 0) {
   checker::AnalysisOptions options;
   options.jobs = jobs;
+  options.retries = retries;
+  options.journal_path = journal_path;
   auto t0 = std::chrono::steady_clock::now();
   checker::ImplementationReport rep = checker::ProChecker::analyze(profile, options);
   RunSample s;
@@ -70,8 +80,16 @@ RunSample run_catalog(const ue::StackProfile& profile, int jobs, std::string* pr
   return s;
 }
 
+struct SupervisedSample {
+  bool measured = false;
+  double baseline_wall = 0;
+  double supervised_wall = 0;
+  double overhead_pct = 0;
+  std::size_t journal_records = 0;
+};
+
 void write_json(const std::string& path, const std::string& profile,
-                const std::vector<RunSample>& runs) {
+                const std::vector<RunSample>& runs, const SupervisedSample& sup) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -96,7 +114,16 @@ void write_json(const std::string& path, const std::string& profile,
   std::fprintf(f, "  ],\n");
   double j1 = runs.front().wall_seconds;
   double j8 = runs.back().wall_seconds;
-  std::fprintf(f, "  \"speedup_max_jobs_vs_jobs1\": %.2f\n", j8 > 0 ? j1 / j8 : 0.0);
+  std::fprintf(f, "  \"speedup_max_jobs_vs_jobs1\": %.2f%s\n", j8 > 0 ? j1 / j8 : 0.0,
+               sup.measured ? "," : "");
+  if (sup.measured) {
+    std::fprintf(f,
+                 "  \"supervised\": {\"baseline_wall_seconds\": %.3f,"
+                 " \"supervised_wall_seconds\": %.3f, \"overhead_pct\": %.2f,"
+                 " \"journal_records\": %zu}\n",
+                 sup.baseline_wall, sup.supervised_wall, sup.overhead_pct,
+                 sup.journal_records);
+  }
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -107,16 +134,19 @@ void write_json(const std::string& path, const std::string& profile,
 int main(int argc, char** argv) {
   std::string profile_name = "cls";
   std::string json_path;
+  bool supervised = false;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--profile" && i + 1 < argc) {
       profile_name = argv[++i];
     } else if (a == "--write-json") {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "BENCH_catalog.json";
+    } else if (a == "--supervised") {
+      supervised = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_catalog_parallel [--profile <cls|srsue|oai>]"
-                   " [--write-json [path]]\n");
+                   " [--write-json [path]] [--supervised]\n");
       return 2;
     }
   }
@@ -166,6 +196,40 @@ int main(int argc, char** argv) {
               profile.name.c_str(), ThreadPool::default_parallelism(), t.render().c_str());
   std::printf("Reports at every jobs level are identical (determinism contract held).\n");
 
-  if (!json_path.empty()) write_json(json_path, profile.name, runs);
+  SupervisedSample sup;
+  if (supervised) {
+    // Fault-free supervisor overhead: retries armed, durable journal on, no
+    // faults injected — the watchdog polling and journal fsyncs are the only
+    // extra work. Measured against an *adjacent* jobs=1 baseline so machine
+    // drift between the sweep above and this section cannot skew the ratio.
+    std::string base_print;
+    double base = run_catalog(profile, 1, &base_print).wall_seconds;
+    const std::string journal = "/tmp/bench_catalog_journal.jsonl";
+    std::remove(journal.c_str());
+    std::string sup_print;
+    RunSample s = run_catalog(profile, 1, &sup_print, journal, /*retries=*/2);
+    if (sup_print != reference || base_print != reference) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION: supervised report differs from jobs=1\n");
+      return 1;
+    }
+    JournalLoad load = load_journal(journal);
+    std::remove(journal.c_str());
+    sup.measured = true;
+    sup.baseline_wall = base;
+    sup.supervised_wall = s.wall_seconds;
+    sup.overhead_pct = base > 0 ? (s.wall_seconds - base) / base * 100.0 : 0.0;
+    // Header line is bookkeeping, not an outcome.
+    sup.journal_records = load.payloads.empty() ? 0 : load.payloads.size() - 1;
+    std::printf(
+        "\nSupervised overhead (jobs=1, fault-free): baseline %.2fs,"
+        " supervised %.2fs, overhead %.2f%%, %zu journal records\n",
+        sup.baseline_wall, sup.supervised_wall, sup.overhead_pct, sup.journal_records);
+    if (sup.overhead_pct >= 3.0) {
+      std::fprintf(stderr, "SUPERVISED OVERHEAD EXCEEDS 3%% (%.2f%%)\n", sup.overhead_pct);
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, profile.name, runs, sup);
   return 0;
 }

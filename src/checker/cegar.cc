@@ -48,9 +48,16 @@ PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_
   }
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.cancel && options.cancel->cancelled()) {
+      result.status = PropertyResult::Status::kInconclusive;
+      result.note = "cancelled before iteration " + std::to_string(result.iterations + 1);
+      return result;
+    }
     ++result.iterations;
     mc::CheckOptions mc_options;
     mc_options.max_states = options.max_states;
+    mc_options.max_visited_bytes = options.max_visited_bytes;
+    mc_options.cancel = options.cancel;
     if (options.max_seconds > 0) {
       const double remaining = options.max_seconds - result.total_seconds;
       if (remaining <= 0) {
@@ -85,9 +92,12 @@ PropertyResult check_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_
       if (stats.truncated()) {
         // The search stopped at a budget without finding a violation: the
         // unexplored remainder may still hold one, so this is not a verdict.
+        const char* why = stats.bound_hit      ? "state bound"
+                          : stats.deadline_hit ? "wall-clock deadline"
+                          : stats.mem_hit      ? "memory ceiling"
+                                               : "cancellation";
         result.status = PropertyResult::Status::kInconclusive;
-        result.note = std::string("search budget exhausted (") +
-                      (stats.bound_hit ? "state bound" : "wall-clock deadline") + " after " +
+        result.note = std::string("search budget exhausted (") + why + " after " +
                       std::to_string(stats.states_explored) +
                       " states); no counterexample found in the explored fragment";
         return result;

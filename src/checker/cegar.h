@@ -59,6 +59,13 @@ struct CegarOptions {
   /// Total wall-clock budget (seconds) across all MC iterations of one
   /// property; 0 = unbounded. Each iteration gets the remaining slice.
   double max_seconds = 0.0;
+  /// Approximate per-iteration memory ceiling over the MC's visited-state
+  /// structures (bytes); 0 = unbounded. A trip yields kInconclusive with
+  /// the ceiling named in the note (the supervisor's OOM containment).
+  std::size_t max_visited_bytes = 0;
+  /// Cooperative cancellation (polled in the MC hot loop and between CEGAR
+  /// iterations); a cancelled run yields kInconclusive.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs the full MC ⇄ CPV loop for one property. `ue_fsm` is the extracted

@@ -1,6 +1,5 @@
 #include "checker/prochecker.h"
 
-#include <atomic>
 #include <chrono>
 
 #include "checker/baseline.h"
@@ -40,6 +39,14 @@ int ImplementationReport::inconclusive_count() const {
   return n;
 }
 
+int ImplementationReport::contained_count() const {
+  int n = 0;
+  for (const PropertyOutcome& o : outcomes) {
+    n += o.failure != FailureClass::kNone && o.failure != FailureClass::kCancelled ? 1 : 0;
+  }
+  return n;
+}
+
 threat::ThreatModel ProChecker::build_threat_model(const fsm::Fsm& ue_fsm) {
   return threat::compose(ue_fsm, lteinspector_mme_model());
 }
@@ -70,15 +77,18 @@ ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
   // (3) Threat instrumentation: IMP^μ = UE^μ ⊗ MME^μ ⊗ Dolev–Yao.
   threat::ThreatModel tm = build_threat_model(report.checking_model);
 
-  // (4) MC ⇄ CPV over the property catalog, fanned across worker threads.
+  // (4) MC ⇄ CPV over the property catalog, fanned across worker threads
+  // under the analysis supervisor (crash isolation, watchdogs, retries,
+  // journal/resume — DESIGN.md §11).
   //
   // The unit of parallelism is one property's whole CEGAR loop: refinement
   // state (banned commands) is strictly per-property, so workers share only
   // immutables — the ThreatModel, the extracted FSM, and the catalog. The
   // cryptographic verifier is NOT shared: cpv::Knowledge saturates lazily
-  // behind a const interface (mutable cache), so each worker constructs its
-  // own LteCryptoModel. Results land in a pre-sized vector by catalog
-  // index, making the report byte-identical to a sequential run.
+  // behind a const interface (mutable cache), so the supervisor hands each
+  // concurrent worker its own LteCryptoModel (reused via a free-list).
+  // Outcomes land in catalog order, making the report byte-identical to a
+  // sequential run.
   cpv::LteCryptoModel::Options crypto_options;
   crypto_options.usim_freshness_limit = profile.sqn_freshness_limit.has_value();
 
@@ -95,35 +105,32 @@ ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
     selected.push_back(&prop);
   }
 
-  std::size_t jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
-                                      : ThreadPool::default_parallelism();
-  std::vector<PropertyResult> results(selected.size());
-  if (jobs <= 1 || selected.size() <= 1) {
-    cpv::LteCryptoModel crypto(crypto_options);
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      results[i] = check_property(tm, report.checking_model, *selected[i], crypto, cegar);
-    }
-  } else {
-    if (jobs > selected.size()) jobs = selected.size();
-    ThreadPool pool(jobs);
-    std::atomic<std::size_t> next{0};
-    for (std::size_t w = 0; w < jobs; ++w) {
-      pool.submit([&] {
-        cpv::LteCryptoModel crypto(crypto_options);  // per-worker verifier
-        for (std::size_t i = next.fetch_add(1); i < selected.size();
-             i = next.fetch_add(1)) {
-          results[i] = check_property(tm, report.checking_model, *selected[i], crypto, cegar);
-        }
-      });
-    }
-    pool.wait();
-  }
+  SupervisorOptions sup;
+  sup.retries = options.retries;
+  sup.backoff_seconds = options.retry_backoff_seconds;
+  sup.deadline_per_property = options.deadline_per_property;
+  sup.mem_ceiling_bytes = options.mem_ceiling_bytes;
+  sup.journal_path = options.journal_path;
+  sup.resume = options.resume;
+  sup.run_tag = profile.name;
+  sup.jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
+                              : ThreadPool::default_parallelism();
+  sup.cancel = options.cancel;
+  sup.fault_hook = options.fault_hook;
 
-  for (PropertyResult& r : results) {
+  SupervisedRun run =
+      run_supervised(tm, report.checking_model, selected, crypto_options, cegar, sup);
+  report.resumed_count = run.resumed;
+  report.cancelled_count = run.cancelled;
+  report.journal_error = std::move(run.journal_error);
+
+  for (PropertyOutcome& outcome : run.outcomes) {
+    const PropertyResult& r = outcome.result;
     if (r.status == PropertyResult::Status::kAttack && !r.attack_id.empty()) {
       report.attacks_found.insert(r.attack_id);
     }
-    report.results.push_back(std::move(r));
+    report.results.push_back(r);
+    report.outcomes.push_back(std::move(outcome));
   }
   return report;
 }

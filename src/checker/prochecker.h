@@ -13,6 +13,7 @@
 
 #include "checker/cegar.h"
 #include "checker/property.h"
+#include "checker/supervisor.h"
 #include "extractor/extractor.h"
 #include "fsm/fsm.h"
 #include "testing/conformance.h"
@@ -36,6 +37,31 @@ struct AnalysisOptions {
   /// value — results land in catalog order and each worker owns its own
   /// cryptographic verifier (see DESIGN.md §10).
   int jobs = 0;
+
+  // --- Supervisor knobs (DESIGN.md §11) ------------------------------------
+  /// Extra attempts for properties that throw or trip a budget; each retry
+  /// runs degraded (smaller state/deadline budgets). 0 = fail fast to a
+  /// structured kInconclusive (exceptions are still contained).
+  int retries = 0;
+  /// Base of the exponential retry backoff, seconds (see SupervisorOptions).
+  double retry_backoff_seconds = 0.05;
+  /// Per-attempt watchdog wall-clock deadline (seconds); 0 = none. Distinct
+  /// from max_seconds_per_property (the CEGAR budget): the effective
+  /// per-attempt deadline is the min of the two positives.
+  double deadline_per_property = 0.0;
+  /// Approximate per-property memory ceiling over the MC's visited-state
+  /// structures (bytes, cooperatively polled); 0 = none.
+  std::size_t mem_ceiling_bytes = 0;
+  /// Crash-safe run journal path; "" disables journaling.
+  std::string journal_path;
+  /// Adopt completed outcomes from journal_path (skip re-verification).
+  bool resume = false;
+  /// Cooperative run-level cancellation (properties not yet started are
+  /// shed and reported as cancelled outcomes).
+  const CancelToken* cancel = nullptr;
+  /// Test hook forwarded to the supervisor: called at the start of every
+  /// attempt; a throw simulates a worker crash.
+  std::function<void(const std::string& property_id, int attempt)> fault_hook;
 };
 
 struct ImplementationReport {
@@ -52,10 +78,21 @@ struct ImplementationReport {
   /// Table I rows detected: attack ids of violated properties.
   std::set<std::string> attacks_found;
 
+  /// Supervisor outcome per property (parallel to `results`): attempt
+  /// counts, failure classes, resume provenance.
+  std::vector<PropertyOutcome> outcomes;
+  std::size_t resumed_count = 0;    // outcomes adopted from the run journal
+  std::size_t cancelled_count = 0;  // properties interrupted by cancellation
+  /// Non-empty when the run journal could not be written (analysis continued).
+  std::string journal_error;
+
   int verified_count() const;
   int attack_count() const;
   int not_applicable_count() const;
   int inconclusive_count() const;
+  /// Properties whose failure was contained (exception/deadline/mem/budget
+  /// — everything except clean verdicts and cancellations).
+  int contained_count() const;
 };
 
 class ProChecker {

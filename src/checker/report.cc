@@ -18,6 +18,46 @@ std::string to_string(PropertyResult::Status status) {
   return "?";
 }
 
+namespace {
+
+/// Left-justified field of at least `width` characters (printf "%-*s").
+void pad_to(std::string& out, const std::string& field, std::size_t width) {
+  out += field;
+  for (std::size_t k = field.size(); k < width; ++k) out += ' ';
+}
+
+}  // namespace
+
+std::string render_verdicts(const ImplementationReport& report) {
+  std::string out;
+  for (const PropertyResult& r : report.results) {
+    pad_to(out, r.property_id, 4);
+    out += ' ';
+    pad_to(out, to_string(r.status), 12);
+    out += ' ';
+    pad_to(out, r.attack_id.empty() ? "-" : r.attack_id, 5);
+    out += ' ';
+    out += r.note;
+    out += '\n';
+  }
+  out += '\n' + report.profile_name + ": " + std::to_string(report.verified_count()) +
+         " verified, " + std::to_string(report.attack_count()) + " attacks, " +
+         std::to_string(report.not_applicable_count()) + " n/a, " +
+         std::to_string(report.inconclusive_count()) + " inconclusive | Table I rows: ";
+  for (const std::string& id : report.attacks_found) out += id + ' ';
+  out += '\n';
+  if (report.contained_count() > 0) {
+    out += "contained failures:";
+    for (const PropertyOutcome& o : report.outcomes) {
+      if (o.failure == FailureClass::kNone || o.failure == FailureClass::kCancelled) continue;
+      out += ' ' + o.result.property_id + ':' + std::string(to_string(o.failure)) + '(' +
+             std::to_string(o.attempts) + ')';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 std::string render_report(const ImplementationReport& report, const ReportOptions& options) {
   std::ostringstream out;
   out << "# ProChecker report: " << report.profile_name << "\n\n";
@@ -52,7 +92,15 @@ std::string render_report(const ImplementationReport& report, const ReportOption
   }
   out << "\n- Table I rows detected:";
   for (const std::string& id : report.attacks_found) out << " " << id;
-  out << "\n\n## Findings\n\n";
+  out << "\n";
+  if (report.contained_count() > 0) {
+    out << "- " << report.contained_count()
+        << " contained failures (exception/deadline/memory — see per-property notes)\n";
+  }
+  if (report.resumed_count > 0) {
+    out << "- " << report.resumed_count << " verdicts adopted from the run journal\n";
+  }
+  out << "\n## Findings\n\n";
 
   threat::ThreatModel tm =
       options.include_traces ? ProChecker::build_threat_model(report.checking_model)

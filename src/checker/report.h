@@ -23,6 +23,14 @@ struct ReportOptions {
 std::string render_report(const ImplementationReport& report,
                           const ReportOptions& options = ReportOptions());
 
+/// The canonical verdict block (what `prochecker analyze` prints): one line
+/// per property, the summary line, and the contained-failure roster. Built
+/// only from the deterministic slice of the report — verdicts, notes, and
+/// containment metadata, never timings or resume provenance — so the output
+/// is byte-identical across jobs levels and across interrupt/resume cycles
+/// (the journal round-trips every field this function reads).
+std::string render_verdicts(const ImplementationReport& report);
+
 /// Cross-implementation findings matrix (markdown table): one row per
 /// property where at least one implementation is non-verified.
 std::string render_findings_matrix(const std::vector<const ImplementationReport*>& reports);

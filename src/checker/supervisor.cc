@@ -1,0 +1,725 @@
+#include "checker/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/journal.h"
+
+namespace procheck::checker {
+
+std::string_view to_string(FailureClass f) {
+  switch (f) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kException:
+      return "exception";
+    case FailureClass::kDeadline:
+      return "deadline";
+    case FailureClass::kMemCeiling:
+      return "mem-ceiling";
+    case FailureClass::kBudget:
+      return "budget";
+    case FailureClass::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+// --- Minimal JSON (journal record codec) -----------------------------------
+//
+// The journal stores one JSON object per line. Only the shapes the encoder
+// below emits are supported: objects, arrays, strings, integers, booleans.
+// The parser is strict — any malformation fails the whole record, which the
+// resume path treats as "absent" (the property is simply re-verified).
+
+namespace {
+
+struct Json {
+  enum class Type : std::uint8_t { kNull, kBool, kInt, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  long long i = 0;
+  std::string s;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  bool is(Type t) const { return type == t; }
+  const Json* find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  long long get_int(const std::string& key, long long dflt = 0) const {
+    const Json* v = find(key);
+    return v && v->is(Type::kInt) ? v->i : dflt;
+  }
+  std::string get_str(const std::string& key) const {
+    const Json* v = find(key);
+    return v && v->is(Type::kString) ? v->s : std::string();
+  }
+  bool get_bool(const std::string& key, bool dflt = false) const {
+    const Json* v = find(key);
+    return v && v->is(Type::kBool) ? v->b : dflt;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse() {
+    std::optional<Json> v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    Json v;
+    if (literal("true")) {
+      v.type = Json::Type::kBool;
+      v.b = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.type = Json::Type::kBool;
+      v.b = false;
+      return v;
+    }
+    if (literal("null")) return v;
+    return std::nullopt;
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      std::optional<Json> key = string_value();
+      if (!key || !eat(':')) return std::nullopt;
+      std::optional<Json> val = value();
+      if (!val) return std::nullopt;
+      v.obj.emplace(std::move(key->s), std::move(*val));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      std::optional<Json> val = value();
+      if (!val) return std::nullopt;
+      v.arr.push_back(std::move(*val));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> string_value() {
+    if (!eat('"')) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          v.s += esc;
+          break;
+        case 'n':
+          v.s += '\n';
+          break;
+        case 't':
+          v.s += '\t';
+          break;
+        case 'r':
+          v.s += '\r';
+          break;
+        case 'b':
+          v.s += '\b';
+          break;
+        case 'f':
+          v.s += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            unsigned d;
+            if (h >= '0' && h <= '9') {
+              d = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              d = static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              d = static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+            code = code << 4 | d;
+          }
+          // The encoder only emits \u00XX (control bytes); anything wider
+          // is foreign input — substitute rather than mis-decode.
+          v.s += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0 || digits > 18) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kInt;
+    v.i = 0;
+    bool neg = text_[start] == '-';
+    for (std::size_t k = start + (neg ? 1 : 0); k < pos_; ++k) {
+      v.i = v.i * 10 + (text_[k] - '0');
+    }
+    if (neg) v.i = -v.i;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// JSON string literal (quoted, escaped).
+std::string js(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string js_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += js(items[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string_view status_token(PropertyResult::Status s) {
+  switch (s) {
+    case PropertyResult::Status::kVerified:
+      return "verified";
+    case PropertyResult::Status::kAttack:
+      return "attack";
+    case PropertyResult::Status::kNotApplicable:
+      return "not_applicable";
+    case PropertyResult::Status::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+std::optional<PropertyResult::Status> status_from_token(std::string_view t) {
+  if (t == "verified") return PropertyResult::Status::kVerified;
+  if (t == "attack") return PropertyResult::Status::kAttack;
+  if (t == "not_applicable") return PropertyResult::Status::kNotApplicable;
+  if (t == "inconclusive") return PropertyResult::Status::kInconclusive;
+  return std::nullopt;
+}
+
+std::optional<FailureClass> failure_from_token(std::string_view t) {
+  for (FailureClass f : {FailureClass::kNone, FailureClass::kException, FailureClass::kDeadline,
+                         FailureClass::kMemCeiling, FailureClass::kBudget,
+                         FailureClass::kCancelled}) {
+    if (t == to_string(f)) return f;
+  }
+  return std::nullopt;
+}
+
+constexpr int kJournalVersion = 1;
+
+std::string encode_header(const std::string& tag) {
+  return std::string("{\"kind\":\"header\",\"v\":") + std::to_string(kJournalVersion) +
+         ",\"tag\":" + js(tag) + "}";
+}
+
+/// Returns the header tag, or nullopt if the payload is not a valid header.
+std::optional<std::string> decode_header(std::string_view payload) {
+  std::optional<Json> v = JsonParser(payload).parse();
+  if (!v || !v->is(Json::Type::kObject)) return std::nullopt;
+  if (v->get_str("kind") != "header") return std::nullopt;
+  if (v->get_int("v") != kJournalVersion) return std::nullopt;
+  return v->get_str("tag");
+}
+
+}  // namespace
+
+std::string encode_outcome(const PropertyOutcome& outcome) {
+  const PropertyResult& r = outcome.result;
+  std::string out = "{\"kind\":\"outcome\"";
+  out += ",\"id\":" + js(r.property_id);
+  out += ",\"attack\":" + js(r.attack_id);
+  out += ",\"status\":\"" + std::string(status_token(r.status)) + "\"";
+  out += ",\"note\":" + js(r.note);
+  out += ",\"iters\":" + std::to_string(r.iterations);
+  out += ",\"attempts\":" + std::to_string(outcome.attempts);
+  out += ",\"failure\":\"" + std::string(to_string(outcome.failure)) + "\"";
+  out += ",\"diag\":" + js(outcome.diagnostics);
+  out += ",\"refs\":" + js_array(r.refinements);
+  if (r.equivalence) {
+    out += ",\"equiv\":{\"dist\":" + std::string(r.equivalence->distinguishable ? "true" : "false");
+    out += ",\"victim\":" + js(r.equivalence->victim_response);
+    out += ",\"other\":" + js(r.equivalence->other_response);
+    out += ",\"reason\":" + js(r.equivalence->reason) + "}";
+  }
+  if (r.counterexample) {
+    out += ",\"cex\":{\"loop\":" + std::to_string(r.counterexample->loop_start);
+    out += ",\"steps\":[";
+    for (std::size_t i = 0; i < r.counterexample->steps.size(); ++i) {
+      const mc::TraceStep& step = r.counterexample->steps[i];
+      if (i > 0) out += ',';
+      out += "{\"label\":" + js(step.label);
+      out += ",\"actor\":" + std::to_string(static_cast<int>(step.meta.actor));
+      out += ",\"ckind\":" + std::to_string(static_cast<int>(step.meta.kind));
+      out += ",\"msg\":" + js(step.meta.message);
+      out += ",\"prov\":" + std::to_string(step.meta.provenance);
+      out += ",\"from\":" + js(step.meta.from_state);
+      out += ",\"to\":" + js(step.meta.to_state);
+      out += ",\"atoms\":" +
+             js_array({step.meta.atoms.begin(), step.meta.atoms.end()});
+      out += ",\"acts\":" +
+             js_array({step.meta.actions.begin(), step.meta.actions.end()});
+      out += ",\"post\":[";
+      for (std::size_t k = 0; k < step.post.size(); ++k) {
+        if (k > 0) out += ',';
+        out += std::to_string(step.post[k]);
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<PropertyOutcome> decode_outcome(std::string_view json) {
+  std::optional<Json> v = JsonParser(json).parse();
+  if (!v || !v->is(Json::Type::kObject)) return std::nullopt;
+  if (v->get_str("kind") != "outcome") return std::nullopt;
+
+  PropertyOutcome out;
+  PropertyResult& r = out.result;
+  r.property_id = v->get_str("id");
+  if (r.property_id.empty()) return std::nullopt;
+  r.attack_id = v->get_str("attack");
+  std::optional<PropertyResult::Status> status = status_from_token(v->get_str("status"));
+  if (!status) return std::nullopt;
+  r.status = *status;
+  r.note = v->get_str("note");
+  r.iterations = static_cast<int>(v->get_int("iters"));
+  out.attempts = static_cast<int>(v->get_int("attempts", 1));
+  std::optional<FailureClass> failure = failure_from_token(v->get_str("failure"));
+  if (!failure) return std::nullopt;
+  out.failure = *failure;
+  out.diagnostics = v->get_str("diag");
+
+  if (const Json* refs = v->find("refs")) {
+    if (!refs->is(Json::Type::kArray)) return std::nullopt;
+    for (const Json& item : refs->arr) {
+      if (!item.is(Json::Type::kString)) return std::nullopt;
+      r.refinements.push_back(item.s);
+    }
+  }
+  if (const Json* equiv = v->find("equiv")) {
+    if (!equiv->is(Json::Type::kObject)) return std::nullopt;
+    cpv::EquivalenceVerdict eq;
+    eq.distinguishable = equiv->get_bool("dist");
+    eq.victim_response = equiv->get_str("victim");
+    eq.other_response = equiv->get_str("other");
+    eq.reason = equiv->get_str("reason");
+    r.equivalence = std::move(eq);
+  }
+  if (const Json* cex = v->find("cex")) {
+    if (!cex->is(Json::Type::kObject)) return std::nullopt;
+    mc::CounterExample trace;
+    trace.loop_start = static_cast<int>(cex->get_int("loop", -1));
+    const Json* steps = cex->find("steps");
+    if (!steps || !steps->is(Json::Type::kArray)) return std::nullopt;
+    for (const Json& item : steps->arr) {
+      if (!item.is(Json::Type::kObject)) return std::nullopt;
+      mc::TraceStep step;
+      step.label = item.get_str("label");
+      step.meta.actor = static_cast<mc::CommandMeta::Actor>(item.get_int("actor"));
+      step.meta.kind = static_cast<mc::CommandMeta::Kind>(item.get_int("ckind"));
+      step.meta.message = item.get_str("msg");
+      step.meta.provenance = static_cast<int>(item.get_int("prov"));
+      step.meta.from_state = item.get_str("from");
+      step.meta.to_state = item.get_str("to");
+      if (const Json* atoms = item.find("atoms")) {
+        for (const Json& a : atoms->arr) step.meta.atoms.insert(a.s);
+      }
+      if (const Json* acts = item.find("acts")) {
+        for (const Json& a : acts->arr) step.meta.actions.insert(a.s);
+      }
+      if (const Json* post = item.find("post")) {
+        for (const Json& p : post->arr) {
+          if (!p.is(Json::Type::kInt)) return std::nullopt;
+          step.post.push_back(static_cast<std::int32_t>(p.i));
+        }
+      }
+      trace.steps.push_back(std::move(step));
+    }
+    r.counterexample = std::move(trace);
+  }
+  return out;
+}
+
+// --- The supervisor ---------------------------------------------------------
+
+namespace {
+
+/// min over the positive operands (0 = "unbounded" on either side).
+double min_deadline(double a, double b) {
+  if (a <= 0) return b;
+  if (b <= 0) return a;
+  return std::min(a, b);
+}
+
+std::size_t min_ceiling(std::size_t a, std::size_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+FailureClass classify(const PropertyResult& r) {
+  if (r.status != PropertyResult::Status::kInconclusive) return FailureClass::kNone;
+  const mc::CheckStats& s = r.last_stats;
+  if (s.cancelled || r.note.find("cancelled") != std::string::npos) {
+    return FailureClass::kCancelled;
+  }
+  if (s.mem_hit) return FailureClass::kMemCeiling;
+  if (s.deadline_hit || r.note.find("wall-clock") != std::string::npos) {
+    return FailureClass::kDeadline;
+  }
+  return FailureClass::kBudget;
+}
+
+PropertyOutcome exception_outcome(const PropertyDef& prop, int attempt,
+                                  const std::string& what) {
+  PropertyOutcome out;
+  out.attempts = attempt;
+  out.failure = FailureClass::kException;
+  out.diagnostics = what;
+  out.result.status = PropertyResult::Status::kInconclusive;
+  out.result.property_id = prop.id;
+  out.result.attack_id = prop.attack_id;
+  out.result.note = "worker exception: " + what;
+  return out;
+}
+
+PropertyOutcome cancelled_outcome(const PropertyDef& prop) {
+  PropertyOutcome out;
+  out.attempts = 0;
+  out.failure = FailureClass::kCancelled;
+  out.diagnostics = "run cancelled";
+  out.result.status = PropertyResult::Status::kInconclusive;
+  out.result.property_id = prop.id;
+  out.result.attack_id = prop.attack_id;
+  out.result.note = "cancelled before verification started";
+  return out;
+}
+
+/// One property under the watchdog + retry/degrade ladder. Exceptions from
+/// the MC/CEGAR loop (or the test fault hook) never escape.
+PropertyOutcome run_one_property(const threat::ThreatModel& tm, const fsm::Fsm& ue_fsm,
+                                 const PropertyDef& prop, const cpv::LteCryptoModel& crypto,
+                                 const CegarOptions& base, const SupervisorOptions& options) {
+  const int total_attempts = 1 + std::max(0, options.retries);
+  std::size_t max_states = base.max_states;
+  double deadline = min_deadline(base.max_seconds, options.deadline_per_property);
+  const std::size_t ceiling = min_ceiling(base.max_visited_bytes, options.mem_ceiling_bytes);
+
+  PropertyOutcome out;
+  for (int attempt = 1; attempt <= total_attempts; ++attempt) {
+    out.attempts = attempt;
+    CegarOptions per_attempt = base;
+    per_attempt.max_states = max_states;
+    per_attempt.max_seconds = deadline;
+    per_attempt.max_visited_bytes = ceiling;
+    per_attempt.cancel = options.cancel;
+    try {
+      if (options.fault_hook) options.fault_hook(prop.id, attempt);
+      out.result = check_property(tm, ue_fsm, prop, crypto, per_attempt);
+      out.failure = classify(out.result);
+      out.diagnostics = out.failure == FailureClass::kNone ? std::string() : out.result.note;
+    } catch (const std::exception& e) {
+      out = exception_outcome(prop, attempt, e.what());
+    } catch (...) {
+      out = exception_outcome(prop, attempt, "unknown exception type");
+    }
+    if (out.failure == FailureClass::kNone || out.failure == FailureClass::kCancelled) {
+      return out;
+    }
+    if (attempt == total_attempts) break;
+    // Degrade ladder: each retry after a *resource* trip gets a smaller
+    // search so a property that OOMs or wedges converges to an explicit
+    // kInconclusive instead of failing identically N times. A transient
+    // exception keeps its full budget — the search size wasn't the problem.
+    if (out.failure != FailureClass::kException) {
+      max_states = std::max<std::size_t>(
+          options.degrade_floor_states,
+          static_cast<std::size_t>(static_cast<double>(max_states) * options.degrade_factor));
+      if (deadline > 0) deadline = std::max(0.01, deadline * options.degrade_factor);
+    }
+    if (options.backoff_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options.backoff_seconds * static_cast<double>(1 << (attempt - 1))));
+    }
+  }
+
+  // Retries exhausted: the last attempt's result stands as a structured
+  // kInconclusive with the failure class embedded (never a propagated error).
+  out.result.status = PropertyResult::Status::kInconclusive;
+  if (total_attempts > 1) {
+    out.result.note += " [supervisor: " + std::string(to_string(out.failure)) +
+                       " persisted through " + std::to_string(out.attempts) + " attempts]";
+  }
+  return out;
+}
+
+}  // namespace
+
+SupervisedRun run_supervised(const threat::ThreatModel& tm, const fsm::Fsm& ue_fsm,
+                             const std::vector<const PropertyDef*>& selected,
+                             const cpv::LteCryptoModel::Options& crypto_options,
+                             const CegarOptions& cegar, const SupervisorOptions& options) {
+  SupervisedRun run;
+  run.outcomes.resize(selected.size());
+  std::vector<char> done(selected.size(), 0);
+
+  // --- Journal adoption (resume) -------------------------------------------
+  std::map<std::string, PropertyOutcome> adopted;
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      JournalLoad load = load_journal(options.journal_path);
+      bool header_ok = false;
+      for (std::size_t k = 0; k < load.payloads.size(); ++k) {
+        if (k == 0) {
+          std::optional<std::string> tag = decode_header(load.payloads[k]);
+          header_ok = tag && (options.run_tag.empty() || *tag == options.run_tag);
+          if (!header_ok) break;
+          continue;
+        }
+        std::optional<PropertyOutcome> outcome = decode_outcome(load.payloads[k]);
+        if (outcome) adopted[outcome->result.property_id] = std::move(*outcome);
+      }
+      if (!header_ok && !load.payloads.empty()) {
+        // A journal from a different profile (or version) must never leak
+        // verdicts into this run: discard it wholesale.
+        run.journal_error = "journal header mismatch; re-verifying every property";
+        adopted.clear();
+        std::remove(options.journal_path.c_str());
+      }
+    } else {
+      std::remove(options.journal_path.c_str());
+    }
+  }
+
+  std::unique_ptr<JournalWriter> journal;
+  std::mutex journal_mutex;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<JournalWriter>(options.journal_path);
+    if (journal->records() == 0) {
+      journal->append(encode_header(options.run_tag));
+      if (!journal->commit()) {
+        run.journal_error = "cannot write journal at " + options.journal_path +
+                            "; continuing without durability";
+        journal.reset();
+      }
+    }
+  }
+
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    auto it = adopted.find(selected[i]->id);
+    if (it != adopted.end()) {
+      run.outcomes[i] = it->second;
+      run.outcomes[i].resumed = true;
+      done[i] = 1;
+      ++run.resumed;
+    } else {
+      work.push_back(i);
+    }
+  }
+
+  // Journal-first publication: an outcome is recorded durably before it is
+  // considered done, so a crash between the two re-verifies (never loses)
+  // at most the in-flight property. Cancelled outcomes are interruptions,
+  // not verdicts — they are never journaled, so resume re-verifies them.
+  auto record = [&](std::size_t i, PropertyOutcome outcome) {
+    if (outcome.failure != FailureClass::kCancelled) {
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      if (journal) {
+        journal->append(encode_outcome(outcome));
+        if (!journal->commit()) {
+          run.journal_error =
+              "journal write failed mid-run; continuing without durability";
+          journal.reset();
+        }
+      }
+    }
+    run.outcomes[i] = std::move(outcome);
+    done[i] = 1;
+  };
+
+  const std::size_t jobs = std::max<std::size_t>(1, options.jobs);
+  if (jobs <= 1 || work.size() <= 1) {
+    cpv::LteCryptoModel crypto(crypto_options);
+    for (std::size_t i : work) {
+      if (options.cancel && options.cancel->cancelled()) break;
+      record(i, run_one_property(tm, ue_fsm, *selected[i], crypto, cegar, options));
+    }
+  } else {
+    ThreadPool pool(std::min(jobs, work.size()));
+    // Verifiers are reused across properties through a free-list (the
+    // cpv::Knowledge saturation cache stays warm, as in the per-worker
+    // claim-loop design this replaces) but never shared concurrently.
+    std::mutex crypto_mutex;
+    std::vector<std::unique_ptr<cpv::LteCryptoModel>> idle_verifiers;
+    for (std::size_t i : work) {
+      pool.submit([&, i] {
+        // Catch-all even outside run_one_property: a throwing task would
+        // reach std::terminate through the pool, taking down the whole run.
+        try {
+          if (options.cancel && options.cancel->cancelled()) {
+            // Shed everything not yet started; this property (already
+            // started) is reported as cancelled below.
+            pool.cancel_pending();
+            return;
+          }
+          std::unique_ptr<cpv::LteCryptoModel> crypto;
+          {
+            std::lock_guard<std::mutex> lock(crypto_mutex);
+            if (!idle_verifiers.empty()) {
+              crypto = std::move(idle_verifiers.back());
+              idle_verifiers.pop_back();
+            }
+          }
+          if (!crypto) crypto = std::make_unique<cpv::LteCryptoModel>(crypto_options);
+          PropertyOutcome outcome =
+              run_one_property(tm, ue_fsm, *selected[i], *crypto, cegar, options);
+          {
+            std::lock_guard<std::mutex> lock(crypto_mutex);
+            idle_verifiers.push_back(std::move(crypto));
+          }
+          record(i, std::move(outcome));
+        } catch (const std::exception& e) {
+          record(i, exception_outcome(*selected[i], 1, e.what()));
+        } catch (...) {
+          record(i, exception_outcome(*selected[i], 1, "unknown exception type"));
+        }
+      });
+    }
+    pool.wait();
+  }
+
+  // Properties never started (cancelled run / shed tasks) still get a
+  // structured outcome — the report has one row per selected property.
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (!done[i]) run.outcomes[i] = cancelled_outcome(*selected[i]);
+  }
+  for (const PropertyOutcome& outcome : run.outcomes) {
+    if (outcome.failure == FailureClass::kCancelled) ++run.cancelled;
+  }
+  if (journal) {
+    // Exclude the header line from the record count.
+    run.journal_records = journal->records() > 0 ? journal->records() - 1 : 0;
+  }
+  return run;
+}
+
+}  // namespace procheck::checker

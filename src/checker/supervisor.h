@@ -1,0 +1,126 @@
+// Analysis supervisor (DESIGN.md §11 "Failure containment & resume").
+//
+// Layered between ProChecker::analyze and the per-property CEGAR workers:
+// each property runs crash-isolated under a cooperative watchdog (wall-clock
+// deadline + approximate memory ceiling polled in the MC hot loop), so any
+// single property can throw, trip a budget, or be cancelled and the catalog
+// run still completes with a structured outcome for every property. Failed
+// or inconclusive properties are retried on a degrade ladder (shrinking
+// state/deadline budgets, exponential backoff); the final attempt falls back
+// to kInconclusive with the failure class embedded. Every completed outcome
+// is appended to a crash-safe JSONL journal (common/journal.h), and a
+// resumed run adopts journaled outcomes instead of re-verifying them —
+// reproducing a verdict report byte-identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/cegar.h"
+#include "checker/property.h"
+#include "common/thread_pool.h"
+#include "cpv/lte_crypto.h"
+#include "fsm/fsm.h"
+#include "threat/compose.h"
+
+namespace procheck::checker {
+
+/// How a property's verification failed to reach a clean verdict. The
+/// classes mirror the containment paths: kException (a worker threw),
+/// kDeadline (watchdog wall-clock), kMemCeiling (approximate visited-set
+/// ceiling), kBudget (state bound / CEGAR iteration cap), kCancelled (the
+/// run's CancelToken fired — the property was interrupted, not concluded,
+/// so it is never journaled and a resumed run re-verifies it).
+enum class FailureClass : std::uint8_t {
+  kNone,
+  kException,
+  kDeadline,
+  kMemCeiling,
+  kBudget,
+  kCancelled,
+};
+
+std::string_view to_string(FailureClass f);
+
+/// The supervisor's structured per-property outcome: the verdict plus the
+/// containment metadata (what failed, how many attempts were consumed).
+struct PropertyOutcome {
+  PropertyResult result;
+  int attempts = 1;
+  FailureClass failure = FailureClass::kNone;
+  /// Failure detail of the last attempt (exception message, tripped budget).
+  std::string diagnostics;
+  /// True when the outcome was adopted from the run journal (not re-verified).
+  bool resumed = false;
+};
+
+struct SupervisorOptions {
+  /// Extra attempts after the first for failed/inconclusive properties.
+  int retries = 0;
+  /// Base of the exponential retry backoff (seconds): attempt k sleeps
+  /// backoff * 2^(k-1) before re-running. 0 disables the sleep.
+  double backoff_seconds = 0.05;
+  /// Degrade ladder: max_states and the per-attempt deadline shrink by this
+  /// factor on every retry, so a property that OOMs or wedges converges to
+  /// an explicit kInconclusive instead of failing the same way N times.
+  double degrade_factor = 0.5;
+  std::size_t degrade_floor_states = 4096;
+
+  /// Per-attempt watchdog wall-clock deadline (seconds); 0 = none.
+  double deadline_per_property = 0.0;
+  /// Approximate per-property memory ceiling (bytes over the MC's
+  /// visited-state structures, polled cooperatively); 0 = none.
+  std::size_t mem_ceiling_bytes = 0;
+
+  /// Path of the crash-safe run journal; "" disables journaling.
+  std::string journal_path;
+  /// Adopt completed outcomes from journal_path instead of re-verifying.
+  /// Without resume, a pre-existing journal at the path is clobbered.
+  bool resume = false;
+  /// Journal header tag (the profile name): a resumed journal with a
+  /// different tag is discarded, never mixed into this run's results.
+  std::string run_tag;
+
+  std::size_t jobs = 1;
+  /// Cooperative run-level cancellation: properties not yet started are shed
+  /// (ThreadPool::cancel_pending) and reported as kCancelled outcomes.
+  const CancelToken* cancel = nullptr;
+  /// Test hook: invoked at the start of every attempt; a throw simulates a
+  /// worker crash inside the MC/CEGAR loop.
+  std::function<void(const std::string& property_id, int attempt)> fault_hook;
+};
+
+struct SupervisedRun {
+  /// One outcome per selected property, in selection (catalog) order.
+  std::vector<PropertyOutcome> outcomes;
+  std::size_t resumed = 0;    // outcomes adopted from the journal
+  std::size_t cancelled = 0;  // properties interrupted by the CancelToken
+  std::size_t journal_records = 0;
+  /// Non-empty when journaling failed mid-run: the analysis continued
+  /// (containment), but the journal is no longer extending.
+  std::string journal_error;
+};
+
+/// Runs `selected` under supervision. Exceptions never escape a worker:
+/// every property produces a PropertyOutcome. The verdicts are byte-for-byte
+/// deterministic across jobs levels and across interrupt/resume cycles for
+/// deterministic budgets (see DESIGN.md §11 for the determinism argument).
+SupervisedRun run_supervised(const threat::ThreatModel& tm, const fsm::Fsm& ue_fsm,
+                             const std::vector<const PropertyDef*>& selected,
+                             const cpv::LteCryptoModel::Options& crypto_options,
+                             const CegarOptions& cegar, const SupervisorOptions& options);
+
+/// Journal record codec. Encodes the deterministic slice of an outcome
+/// (verdict, note, refinements, equivalence, counterexample, containment
+/// metadata) as a single-line JSON object; timing/footprint stats are
+/// deliberately excluded (they are not part of the determinism contract).
+std::string encode_outcome(const PropertyOutcome& outcome);
+/// Strict inverse; nullopt on any malformation (the record is then treated
+/// as absent and the property re-verified — safe by construction).
+std::optional<PropertyOutcome> decode_outcome(std::string_view json);
+
+}  // namespace procheck::checker

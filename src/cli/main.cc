@@ -48,6 +48,8 @@ int usage() {
                "  analyze --profile <cls|srsue|oai> [--properties <ids>]"
                " [--freshness-limit <L>] [--max-states <N>] [--budget-seconds <S>]"
                " [--jobs <N>]\n"
+               "          [--retries <N>] [--deadline-per-property <S>]"
+               " [--mem-ceiling-mb <M>] [--journal <file>] [--resume <file>]\n"
                "  chaos --profile <cls|srsue|oai> [--intensity <p>] [--jobs <N>]\n");
   return 2;
 }
@@ -259,25 +261,62 @@ int cmd_analyze(const Args& args) {
   auto jobs = parse_jobs(args);
   if (!jobs) return bad_option("jobs", args.get("jobs"));
   options.jobs = static_cast<int>(*jobs);
-  checker::ImplementationReport rep = checker::ProChecker::analyze(*profile, options);
-  threat::ThreatModel tm = checker::ProChecker::build_threat_model(rep.checking_model);
 
-  for (const checker::PropertyResult& r : rep.results) {
-    std::printf("%-4s %-12s %-5s %s\n", r.property_id.c_str(),
-                checker::to_string(r.status).c_str(),
-                r.attack_id.empty() ? "-" : r.attack_id.c_str(), r.note.c_str());
-    if (r.counterexample && args.has("traces")) {
-      std::printf("%s", r.counterexample->render(tm.model).c_str());
+  // Supervisor knobs (watchdogs, retries, journal/resume — DESIGN.md §11).
+  if (args.has("retries")) {
+    auto v = parse_u64(args.get("retries"));
+    if (!v || *v > 16) return bad_option("retries", args.get("retries"));
+    options.retries = static_cast<int>(*v);
+  }
+  if (args.has("deadline-per-property")) {
+    auto v = parse_double(args.get("deadline-per-property"));
+    if (!v || *v < 0) {
+      return bad_option("deadline-per-property", args.get("deadline-per-property"));
     }
-    if (r.counterexample && args.has("dot-traces")) {
-      std::printf("%s", r.counterexample->to_dot(tm.model).c_str());
+    options.deadline_per_property = *v;
+  }
+  if (args.has("mem-ceiling-mb")) {
+    auto v = parse_u64(args.get("mem-ceiling-mb"));
+    if (!v || *v == 0 || *v > (1u << 20)) {
+      return bad_option("mem-ceiling-mb", args.get("mem-ceiling-mb"));
+    }
+    options.mem_ceiling_bytes = *v * 1024 * 1024;
+  }
+  if (args.has("journal")) options.journal_path = args.get("journal");
+  if (args.has("resume")) {
+    options.journal_path = args.get("resume");
+    options.resume = true;
+  }
+
+  checker::ImplementationReport rep = checker::ProChecker::analyze(*profile, options);
+
+  // The verdict block is the canonical deterministic rendering: a resumed
+  // run must reproduce it byte-for-byte (journal/resume status goes to
+  // stderr so it never perturbs the comparison).
+  std::fputs(checker::render_verdicts(rep).c_str(), stdout);
+  if (args.has("traces") || args.has("dot-traces")) {
+    threat::ThreatModel tm = checker::ProChecker::build_threat_model(rep.checking_model);
+    for (const checker::PropertyResult& r : rep.results) {
+      if (!r.counterexample) continue;
+      if (args.has("traces")) {
+        std::printf("-- trace %s --\n%s", r.property_id.c_str(),
+                    r.counterexample->render(tm.model).c_str());
+      }
+      if (args.has("dot-traces")) {
+        std::printf("%s", r.counterexample->to_dot(tm.model).c_str());
+      }
     }
   }
-  std::printf("\n%s: %d verified, %d attacks, %d n/a, %d inconclusive | Table I rows: ",
-              rep.profile_name.c_str(), rep.verified_count(), rep.attack_count(),
-              rep.not_applicable_count(), rep.inconclusive_count());
-  for (const std::string& id : rep.attacks_found) std::printf("%s ", id.c_str());
-  std::printf("\n");
+  if (rep.resumed_count > 0) {
+    std::fprintf(stderr, "resumed %zu of %zu properties from %s\n", rep.resumed_count,
+                 rep.results.size(), options.journal_path.c_str());
+  }
+  if (rep.cancelled_count > 0) {
+    std::fprintf(stderr, "%zu properties cancelled before completion\n", rep.cancelled_count);
+  }
+  if (!rep.journal_error.empty()) {
+    std::fprintf(stderr, "journal warning: %s\n", rep.journal_error.c_str());
+  }
   return 0;
 }
 

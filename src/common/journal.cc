@@ -1,0 +1,140 @@
+#include "common/journal.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace procheck {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Renders one journal line: 8 lowercase hex CRC digits, a space, the
+/// payload, a newline.
+std::string render_line(std::string_view payload) {
+  char tag[10];
+  std::snprintf(tag, sizeof(tag), "%08x ", crc32(payload));
+  std::string line(tag);
+  line += payload;
+  line += '\n';
+  return line;
+}
+
+/// Validates one line (without trailing '\n'); returns the payload or
+/// nullopt when the CRC tag is absent, malformed, or wrong.
+bool check_line(std::string_view line, std::string* payload) {
+  if (line.size() < 9 || line[8] != ' ') return false;
+  std::uint32_t tagged = 0;
+  for (int i = 0; i < 8; ++i) {
+    char c = line[i];
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    tagged = tagged << 4 | digit;
+  }
+  std::string_view body = line.substr(9);
+  if (crc32(body) != tagged) return false;
+  payload->assign(body);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = build_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+JournalLoad load_journal(const std::string& path) {
+  JournalLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return load;
+  load.existed = true;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+
+  std::size_t pos = 0;
+  bool tail = false;  // first bad line poisons everything after it
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    // A final line with no newline is by definition torn (commit always
+    // terminates lines), so it never validates even if its CRC happens to.
+    bool terminated = nl != std::string::npos;
+    std::string_view line(text.data() + pos, (terminated ? nl : text.size()) - pos);
+    pos = terminated ? nl + 1 : text.size();
+    ++load.lines;
+    std::string payload;
+    if (tail || !terminated || !check_line(line, &payload)) {
+      tail = true;
+      ++load.dropped;
+      continue;
+    }
+    load.payloads.push_back(std::move(payload));
+  }
+  return load;
+}
+
+JournalWriter::JournalWriter(std::string path) : path_(std::move(path)) {
+  JournalLoad load = load_journal(path_);
+  for (const std::string& payload : load.payloads) {
+    committed_ += render_line(payload);
+  }
+  records_ = load.payloads.size();
+}
+
+void JournalWriter::append(std::string_view payload) {
+  pending_.emplace_back(payload);
+}
+
+bool JournalWriter::commit() {
+  if (pending_.empty()) return true;
+  std::string next = committed_;
+  for (const std::string& payload : pending_) {
+    next += render_line(payload);
+  }
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = std::fwrite(next.data(), 1, next.size(), f) == next.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  committed_ = std::move(next);
+  records_ += pending_.size();
+  pending_.clear();
+  return true;
+}
+
+}  // namespace procheck

@@ -1,0 +1,70 @@
+// Crash-safe JSONL run journal (DESIGN.md §11).
+//
+// The analysis supervisor appends one record per completed property so an
+// interrupted `analyze` run can resume without re-verifying finished work.
+// Durability contract:
+//   - every commit writes the full journal to `<path>.tmp`, fsyncs it, and
+//     atomically renames it over `<path>` — a crash leaves either the old or
+//     the new journal, never a mix;
+//   - every line is CRC32-tagged (`%08x <payload>`), so a torn tail (the
+//     file truncated at an arbitrary byte by a crash or an interrupted
+//     copy) is detected on reload: the valid prefix is kept, everything
+//     from the first damaged line on is dropped.
+//
+// The journal is a line transport: payloads are opaque single-line strings
+// (the supervisor stores JSON objects; see checker/supervisor.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace procheck {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+std::uint32_t crc32(std::string_view data);
+
+struct JournalLoad {
+  /// Valid record payloads, in file order (CRC prefix stripped).
+  std::vector<std::string> payloads;
+  std::size_t lines = 0;    // physical lines seen
+  std::size_t dropped = 0;  // lines discarded (torn tail / CRC mismatch)
+  bool existed = false;     // the file was present and readable
+};
+
+/// Reloads a journal, tolerating a torn tail: reading stops at the first
+/// line whose CRC tag is missing, malformed, or wrong; that line and
+/// everything after it count as `dropped`. A missing file is an empty load.
+JournalLoad load_journal(const std::string& path);
+
+class JournalWriter {
+ public:
+  /// Binds the writer to `path`. If the file exists, its valid prefix is
+  /// adopted (resume case) so subsequent commits extend rather than clobber
+  /// the surviving records. Nothing is written until commit().
+  explicit JournalWriter(std::string path);
+
+  /// Queues one record payload (must not contain '\n'). Not yet durable.
+  void append(std::string_view payload);
+
+  /// Flushes every queued record: writes the complete journal (adopted
+  /// prefix + queued records) to `<path>.tmp`, fsyncs, renames over
+  /// `<path>`. Returns false on any I/O failure — the caller decides
+  /// whether to continue without durability; queued records are retained
+  /// for a later retry either way.
+  bool commit();
+
+  const std::string& path() const { return path_; }
+  /// Records adopted from disk plus records committed by this writer.
+  std::size_t records() const { return records_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  std::string path_;
+  std::string committed_;  // full text of the durable journal
+  std::vector<std::string> pending_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace procheck

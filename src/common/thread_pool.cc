@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push_back(std::move(task));
   }
   work_available_.notify_one();
 }
@@ -32,6 +32,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::cancel_pending() {
+  std::deque<std::function<void()>> dropped;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    dropped.swap(tasks_);
+    if (active_ == 0) all_done_.notify_all();
+  }
+  // Destroy outside the lock: task closures may own arbitrary state.
+  return dropped.size();
 }
 
 void ThreadPool::worker_loop() {
@@ -42,7 +53,7 @@ void ThreadPool::worker_loop() {
       work_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
       ++active_;
     }
     task();

@@ -9,15 +9,30 @@
 // short items interleave without static partitioning imbalance.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace procheck {
+
+/// Cooperative cancellation: one sticky flag set by a supervisor/watchdog
+/// and polled in hot loops (the MC search polls it per dequeued state, the
+/// supervisor's claim loops poll it per property). Cancellation is a
+/// request, not preemption — holders finish their current poll interval.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 class ThreadPool {
  public:
@@ -36,6 +51,12 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void wait();
 
+  /// Drain-on-cancel: discards every task that has not started yet and
+  /// returns how many were dropped. Tasks already running are unaffected —
+  /// wait() then returns as soon as they finish. Used by the analysis
+  /// supervisor to shed queued per-property work once a run is cancelled.
+  std::size_t cancel_pending();
+
   std::size_t thread_count() const { return workers_.size(); }
 
   /// max(1, std::thread::hardware_concurrency()) — the CLI's --jobs default.
@@ -47,7 +68,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
+  std::deque<std::function<void()>> tasks_;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

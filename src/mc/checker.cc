@@ -287,11 +287,14 @@ std::optional<CounterExample> bfs_search(
     return cex;
   };
 
+  auto current_bytes = [&] {
+    return space.bytes() + info.capacity() * sizeof(NodeInfo) +
+           frontier.capacity() * sizeof(std::uint32_t);
+  };
   auto finish_stats = [&] {
     if (stats) {
       stats->states_explored = space.size();
-      stats->visited_bytes = space.bytes() + info.capacity() * sizeof(NodeInfo) +
-                             frontier.capacity() * sizeof(std::uint32_t);
+      stats->visited_bytes = current_bytes();
       stats->seconds = timer.seconds();
     }
   };
@@ -313,8 +316,16 @@ std::optional<CounterExample> bfs_search(
 
   std::optional<CounterExample> result;
   while (head < frontier.size() && !result) {
+    if (options.cancel && options.cancel->cancelled()) {
+      if (stats) stats->cancelled = true;
+      break;
+    }
     if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
       if (stats) stats->deadline_hit = true;
+      break;
+    }
+    if (options.max_visited_bytes > 0 && current_bytes() > options.max_visited_bytes) {
+      if (stats) stats->mem_hit = true;
       break;
     }
     std::uint32_t at = frontier[head++];
@@ -412,16 +423,18 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
     return cmd == kStutter ? CommandMeta{} : commands[cmd].meta;
   };
 
+  auto current_bytes = [&] {
+    return space.bytes() + nodes.capacity() * sizeof(Node) +
+           info.capacity() * sizeof(NodeInfo) +
+           node_of.capacity() * sizeof(std::array<std::uint32_t, 2>) +
+           pending_edges.capacity() *
+               sizeof(std::vector<std::pair<std::uint32_t, std::int32_t>>) +
+           frontier.capacity() * sizeof(std::uint32_t);
+  };
   auto finish_stats = [&] {
     if (stats) {
       stats->states_explored = nodes.size();
-      stats->visited_bytes =
-          space.bytes() + nodes.capacity() * sizeof(Node) +
-          info.capacity() * sizeof(NodeInfo) +
-          node_of.capacity() * sizeof(std::array<std::uint32_t, 2>) +
-          pending_edges.capacity() *
-              sizeof(std::vector<std::pair<std::uint32_t, std::int32_t>>) +
-          frontier.capacity() * sizeof(std::uint32_t);
+      stats->visited_bytes = current_bytes();
       stats->seconds = timer.seconds();
     }
   };
@@ -460,8 +473,16 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
   std::vector<std::uint64_t> pre_bits(space.blocks(), 0);
 
   while (head < frontier.size()) {
+    if (options.cancel && options.cancel->cancelled()) {
+      if (stats) stats->cancelled = true;
+      break;
+    }
     if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
       if (stats) stats->deadline_hit = true;
+      break;
+    }
+    if (options.max_visited_bytes > 0 && current_bytes() > options.max_visited_bytes) {
+      if (stats) stats->mem_hit = true;
       break;
     }
     std::uint32_t at = frontier[head++];
@@ -496,6 +517,10 @@ std::optional<CounterExample> Checker::check_response(const EdgePred& trigger,
   // Cycle detection restricted to pending=true nodes (iterative DFS).
   std::vector<std::uint8_t> color(nodes.size(), 0);  // 0 white, 1 grey, 2 black
   for (std::uint32_t root = 0; root < nodes.size(); ++root) {
+    if (options.cancel && options.cancel->cancelled()) {
+      if (stats) stats->cancelled = true;
+      break;
+    }
     if (options.max_seconds > 0 && timer.seconds() > options.max_seconds) {
       if (stats) stats->deadline_hit = true;
       break;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "mc/model.h"
 
 namespace procheck::mc {
@@ -47,10 +48,12 @@ struct CheckStats {
   double seconds = 0.0;
   bool bound_hit = false;     // exploration stopped at max_states
   bool deadline_hit = false;  // exploration stopped at max_seconds
+  bool mem_hit = false;       // exploration stopped at max_visited_bytes
+  bool cancelled = false;     // exploration stopped by a CancelToken
 
   /// True when the search stopped early: absence of a counterexample then
   /// means "not found within budget", not "verified".
-  bool truncated() const { return bound_hit || deadline_hit; }
+  bool truncated() const { return bound_hit || deadline_hit || mem_hit || cancelled; }
 };
 
 /// Edge predicate over (pre-state, command, post-state).
@@ -61,6 +64,15 @@ struct CheckOptions {
   /// Wall-clock budget in seconds; 0 = unbounded. Exploration stops (with
   /// stats->deadline_hit) once exceeded — a guardrail, not a fairness bound.
   double max_seconds = 0.0;
+  /// Approximate memory ceiling over the visited-state structures (the
+  /// quantity reported as CheckStats::visited_bytes); 0 = unbounded.
+  /// Polled cooperatively in the search loop, so the real footprint can
+  /// overshoot by one poll interval — a supervisor guardrail against OOM,
+  /// not an allocator limit.
+  std::size_t max_visited_bytes = 0;
+  /// Cooperative cancellation (the supervisor's watchdog): polled once per
+  /// dequeued state; a cancelled search stops with stats->cancelled set.
+  const CancelToken* cancel = nullptr;
   /// When set, edges for which this returns false are pruned (CEGAR
   /// refinement of the threat model).
   EdgePred allowed;

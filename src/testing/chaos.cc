@@ -98,12 +98,35 @@ ChaosReport run_conformance_chaos(const ue::StackProfile& profile, const ChaosRe
   return report;
 }
 
+ChaosReport run_regime_supervised(
+    const ue::StackProfile& profile, const ChaosRegime& regime,
+    const std::function<void(const std::string& regime_name)>& fault_hook) {
+  auto crashed = [&](const std::string& what) {
+    ChaosReport report;
+    report.regime = regime.name;
+    report.profile = profile.name;
+    report.crashed = true;
+    report.failure = what;
+    report.diagnostics.push_back("regime worker crashed: " + what +
+                                 " (contained; other regimes unaffected)");
+    return report;
+  };
+  try {
+    if (fault_hook) fault_hook(regime.name);
+    return run_conformance_chaos(profile, regime);
+  } catch (const std::exception& e) {
+    return crashed(e.what());
+  } catch (...) {
+    return crashed("unknown exception type");
+  }
+}
+
 std::vector<ChaosReport> run_chaos_matrix(const ue::StackProfile& profile, double intensity,
                                           std::size_t jobs) {
   std::vector<ChaosRegime> regimes = chaos_regimes(intensity);
   std::vector<ChaosReport> reports(regimes.size());
   parallel_for(jobs, regimes.size(), [&](std::size_t i) {
-    reports[i] = run_conformance_chaos(profile, regimes[i]);
+    reports[i] = run_regime_supervised(profile, regimes[i]);
   });
   return reports;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,8 +47,15 @@ struct ChaosReport {
   /// Human-readable explanation of every divergence above.
   std::vector<std::string> diagnostics;
 
+  /// True when the regime's worker threw instead of producing results: the
+  /// crash was contained (other regimes unaffected) and `failure` carries
+  /// the exception detail — the supervisor discipline of DESIGN.md §11
+  /// applied to the chaos matrix.
+  bool crashed = false;
+  std::string failure;
+
   bool degraded() const {
-    return !fsm_identical || !newly_failing.empty() || !non_quiescent.empty();
+    return crashed || !fsm_identical || !newly_failing.empty() || !non_quiescent.empty();
   }
   /// The chaos contract: clean, or every degradation is diagnosed.
   bool explained() const { return !degraded() || !diagnostics.empty(); }
@@ -56,6 +64,16 @@ struct ChaosReport {
 /// Runs the suite fault-free and under `regime`, extracts the UE model from
 /// both logs, and diagnoses every divergence.
 ChaosReport run_conformance_chaos(const ue::StackProfile& profile, const ChaosRegime& regime);
+
+/// Crash-isolated wrapper: any exception escaping the regime run (or the
+/// optional `fault_hook`, a test seam invoked with the regime name before
+/// the run) yields a crashed-but-diagnosed ChaosReport instead of
+/// propagating. run_chaos_matrix routes every regime through this, so one
+/// crashing regime can never abort the matrix (or std::terminate a pool
+/// worker).
+ChaosReport run_regime_supervised(
+    const ue::StackProfile& profile, const ChaosRegime& regime,
+    const std::function<void(const std::string& regime_name)>& fault_hook = {});
 
 /// run_conformance_chaos over the whole chaos_regimes matrix. Regimes are
 /// independent (each run owns its loggers and seeded channels), so they fan

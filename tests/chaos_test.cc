@@ -8,6 +8,8 @@
 // and gives up explicitly (never livelocks) under total loss.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/rng.h"
 #include "extractor/extractor.h"
 #include "instrument/trace_log.h"
@@ -197,6 +199,29 @@ TEST_P(LossyAttachSweep, ChaoticAttachNeverCorruptsUsim) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LossyAttachSweep,
                          ::testing::Values(11u, 23u, 37u, 58u, 71u));
+
+TEST(ChaosMatrix, CrashingRegimeIsContainedAndDiagnosed) {
+  // The supervisor discipline applied to the chaos matrix: a worker that
+  // throws yields a crashed-but-diagnosed report instead of aborting the
+  // matrix (or terminating the pool thread running it).
+  std::vector<testing::ChaosRegime> regimes = testing::chaos_regimes(0.1);
+  ASSERT_GE(regimes.size(), 2u);
+  testing::ChaosReport crashed = testing::run_regime_supervised(
+      ue::StackProfile::cls(), regimes[0],
+      [](const std::string&) { throw std::runtime_error("injected regime crash"); });
+  EXPECT_TRUE(crashed.crashed);
+  EXPECT_EQ(crashed.failure, "injected regime crash");
+  EXPECT_TRUE(crashed.degraded());
+  EXPECT_TRUE(crashed.explained());  // the crash itself is the diagnostic
+  ASSERT_FALSE(crashed.diagnostics.empty());
+
+  // Without a fault the supervised wrapper is transparent.
+  testing::ChaosReport clean =
+      testing::run_regime_supervised(ue::StackProfile::cls(), regimes[0]);
+  EXPECT_FALSE(clean.crashed);
+  EXPECT_EQ(clean.regime, regimes[0].name);
+  EXPECT_TRUE(clean.explained());
+}
 
 TEST(ChaosRetransmission, TotalLossAbandonsExplicitly) {
   testing::Testbed tb;

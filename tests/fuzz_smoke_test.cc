@@ -1,0 +1,239 @@
+// Deterministic structure-aware fuzz smoke for the two parsing frontends:
+// the NAS payload/PDU codec (nas/messages.h) and the execution-log parser
+// (instrument/trace_log.h). A seeded mutator perturbs members of a valid
+// corpus — bit flips, truncations, extensions, splices — and the harness
+// asserts the frontends' contracts on every input:
+//
+//   * no crash / sanitizer trip (the suite runs under the asan preset too);
+//   * decode either rejects (nullopt) or returns a value whose re-encoding
+//     decodes to the same value (decode–encode–decode agreement);
+//   * the log parser's accounting is conserved (records + skipped +
+//     truncated lines never exceed input lines) and render→reparse agrees.
+//
+// This is a smoke, not a campaign: a few thousand deterministic inputs in
+// ~2 s, with the accept/reject coverage counters printed so a shrinking
+// corpus is visible in CI logs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "instrument/trace_log.h"
+#include "nas/messages.h"
+
+namespace procheck {
+namespace {
+
+// --- Seeded structure-aware mutator ----------------------------------------
+
+Bytes mutate_bytes(const Bytes& input, Rng& rng) {
+  Bytes out = input;
+  switch (rng.next_below(5)) {
+    case 0: {  // bit flip
+      if (out.empty()) break;
+      std::size_t i = rng.next_below(out.size());
+      out[i] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      break;
+    }
+    case 1: {  // truncate
+      if (out.empty()) break;
+      out.resize(rng.next_below(out.size()));
+      break;
+    }
+    case 2: {  // extend with random tail
+      Bytes tail = rng.next_bytes(1 + rng.next_below(16));
+      out.insert(out.end(), tail.begin(), tail.end());
+      break;
+    }
+    case 3: {  // overwrite a window
+      if (out.empty()) break;
+      std::size_t i = rng.next_below(out.size());
+      std::size_t n = 1 + rng.next_below(8);
+      for (std::size_t k = i; k < out.size() && k < i + n; ++k) {
+        out[k] = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      break;
+    }
+    default: {  // splice with another corpus-shaped prefix/suffix
+      std::size_t cut = out.empty() ? 0 : rng.next_below(out.size() + 1);
+      Bytes other = rng.next_bytes(rng.next_below(24));
+      out.resize(cut);
+      out.insert(out.end(), other.begin(), other.end());
+      break;
+    }
+  }
+  return out;
+}
+
+/// Valid NAS messages spanning the field-map shapes (numeric, string, octet
+/// fields; plain and protected headers) — the corpus the mutator starts from.
+std::vector<nas::NasMessage> nas_corpus() {
+  std::vector<nas::NasMessage> corpus;
+  {
+    nas::NasMessage m(nas::MsgType::kAttachRequest);
+    m.set_s("imsi", "001010123456789").set_u("ue_network_capability", 0xE0);
+    corpus.push_back(m);
+  }
+  {
+    nas::NasMessage m(nas::MsgType::kAuthenticationRequest);
+    m.set_b("rand", {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08});
+    m.set_b("autn", {0xA0, 0xA1, 0xA2, 0xA3});
+    m.set_u("ksi", 3);
+    corpus.push_back(m);
+  }
+  {
+    nas::NasMessage m(nas::MsgType::kAuthenticationFailure);
+    m.set_s("cause", "synch_failure");
+    m.set_b("auts", {0x10, 0x20, 0x30});
+    corpus.push_back(m);
+  }
+  {
+    nas::NasMessage m(nas::MsgType::kSecurityModeCommand);
+    m.sec_hdr = nas::SecHdr::kIntegrity;
+    m.count = 7;
+    m.mac = 0x1122334455667788ULL;
+    m.set_u("eia", 1).set_u("eea", 1).set_u("ue_sequence_number", 0);
+    corpus.push_back(m);
+  }
+  {
+    nas::NasMessage m(nas::MsgType::kAttachAccept);
+    m.sec_hdr = nas::SecHdr::kIntegrityCiphered;
+    m.count = 12;
+    m.set_s("guti", "guti-4711").set_u("t3412", 54);
+    corpus.push_back(m);
+  }
+  {
+    nas::NasMessage m(nas::MsgType::kTauRequest);
+    m.set_s("guti", "guti-old").set_u("eps_update_type", 1);
+    corpus.push_back(m);
+  }
+  return corpus;
+}
+
+TEST(FuzzSmoke, NasPayloadDecodeTotalAndRoundTrips) {
+  Rng rng(0xF02DECDEULL);
+  std::vector<nas::NasMessage> corpus = nas_corpus();
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    const nas::NasMessage& seed = corpus[rng.next_below(corpus.size())];
+    Bytes wire = nas::encode_payload(seed);
+    // Stack up to 3 mutations so inputs drift away from the valid shapes.
+    std::uint64_t depth = 1 + rng.next_below(3);
+    for (std::uint64_t d = 0; d < depth; ++d) wire = mutate_bytes(wire, rng);
+
+    std::optional<nas::NasMessage> decoded = nas::decode_payload(wire);
+    if (!decoded) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    // Decode–encode–decode agreement: whatever the decoder accepted must be
+    // a fixpoint of the codec, or the extractor sees phantom fields.
+    Bytes re = nas::encode_payload(*decoded);
+    std::optional<nas::NasMessage> again = nas::decode_payload(re);
+    ASSERT_TRUE(again.has_value()) << "re-encode of accepted input rejected";
+    EXPECT_EQ(*again, *decoded);
+  }
+  // A healthy frontend both accepts and rejects across the mutation space;
+  // all-accept means the mutator is toothless, all-reject means the corpus
+  // no longer encodes.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::printf("[fuzz] nas payload: %zu accepted, %zu rejected\n", accepted, rejected);
+}
+
+TEST(FuzzSmoke, NasPduDecodeTotalAndRoundTrips) {
+  Rng rng(0x9DF00DULL ^ 0x5EED);
+  std::vector<nas::NasMessage> corpus = nas_corpus();
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    const nas::NasMessage& seed = corpus[rng.next_below(corpus.size())];
+    nas::NasPdu pdu;
+    pdu.sec_hdr = seed.sec_hdr;
+    pdu.count = seed.count;
+    pdu.mac = seed.mac;
+    pdu.payload = nas::encode_payload(seed);
+    Bytes wire = pdu.encode();
+    std::uint64_t depth = 1 + rng.next_below(3);
+    for (std::uint64_t d = 0; d < depth; ++d) wire = mutate_bytes(wire, rng);
+
+    std::optional<nas::NasPdu> decoded = nas::NasPdu::decode(wire);
+    if (!decoded) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    std::optional<nas::NasPdu> again = nas::NasPdu::decode(decoded->encode());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *decoded);
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::printf("[fuzz] nas pdu: %zu accepted, %zu rejected\n", accepted, rejected);
+}
+
+// --- Log-parser fuzz --------------------------------------------------------
+
+std::string mutate_text(const std::string& input, Rng& rng) {
+  Bytes bytes(input.begin(), input.end());
+  bytes = mutate_bytes(bytes, rng);
+  return {bytes.begin(), bytes.end()};
+}
+
+std::string log_corpus_text() {
+  instrument::TraceLogger log;
+  log.test_case("attach_basic");
+  log.enter("emm_send_attach_request");
+  log.global("emm_state", "EMM_REGISTERED_INITIATED");
+  log.global("t3410_running", std::uint64_t{1});
+  log.enter("recv_authentication_request");
+  log.local("mac_valid", std::uint64_t{1});
+  log.local("cause", "none");
+  log.test_case("detach_basic");
+  log.enter("emm_send_detach_request");
+  log.global("emm_state", "EMM_DEREGISTERED_INITIATED");
+  return log.text();
+}
+
+TEST(FuzzSmoke, LogParserTotalAndAccountingConserved) {
+  Rng rng(0x10AB00C5ULL);
+  const std::string corpus = log_corpus_text();
+  std::size_t with_records = 0;
+  std::size_t fully_shed = 0;
+  for (int round = 0; round < 3000; ++round) {
+    std::string text = corpus;
+    std::uint64_t depth = 1 + rng.next_below(4);
+    for (std::uint64_t d = 0; d < depth; ++d) text = mutate_text(text, rng);
+
+    instrument::ParseStats stats;
+    std::vector<instrument::LogRecord> records = instrument::parse_log(text, &stats);
+    // Conservation: every input line is parsed, skipped, or truncated.
+    EXPECT_EQ(records.size(), stats.records);
+    EXPECT_LE(stats.records + stats.skipped + stats.truncated, stats.lines)
+        << "accounting invented lines";
+    (records.empty() ? fully_shed : with_records) += 1;
+
+    // Render→reparse agreement: the canonical text of whatever survived
+    // parses back to the identical record sequence.
+    std::string canonical;
+    for (const instrument::LogRecord& rec : records) {
+      canonical += instrument::render(rec);
+      canonical += '\n';
+    }
+    instrument::ParseStats again_stats;
+    std::vector<instrument::LogRecord> again = instrument::parse_log(canonical, &again_stats);
+    EXPECT_EQ(again, records);
+    EXPECT_EQ(again_stats.records, records.size());
+    EXPECT_EQ(again_stats.truncated, 0u);
+  }
+  EXPECT_GT(with_records, 0u);
+  std::printf("[fuzz] log parser: %zu inputs kept records, %zu fully shed\n", with_records,
+              fully_shed);
+}
+
+}  // namespace
+}  // namespace procheck

@@ -145,6 +145,48 @@ TEST(Testbed, DelayedPdusDrainToQuiescence) {
   EXPECT_EQ(tb.step_limit_hits(), 0u);
 }
 
+TEST(Testbed, QuiesceReportSurfacesStepBudgetAsVerdict) {
+  Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), kTestImsi, kTestKey);
+  tb.set_downlink_interceptor([&tb, conn](int, const NasPdu& pdu) {
+    tb.inject_downlink(conn, pdu);
+    return AdversaryAction::pass();
+  });
+  tb.power_on(conn);
+  Testbed::QuiesceReport report = tb.run_until_quiet_report(50);
+  EXPECT_FALSE(report.quiet());
+  EXPECT_EQ(report.verdict, Testbed::QuiesceReport::Verdict::kStepBudget);
+  EXPECT_EQ(report.deliveries, 50);
+  EXPECT_EQ(tb.step_limit_hits(), 1u);
+
+  // A quiescent scenario reports kQuiet with the work it actually did.
+  Testbed clean;
+  int c2 = clean.add_ue(ue::StackProfile::cls(), kTestImsi, kTestKey);
+  clean.power_on(c2);
+  Testbed::QuiesceReport ok = clean.run_until_quiet_report();
+  EXPECT_TRUE(ok.quiet());
+  EXPECT_GT(ok.deliveries, 0);
+  EXPECT_EQ(ok.horizon_skips, 0);  // no channel, no delay line
+}
+
+TEST(Testbed, QuiesceHorizonSkipBoundsIterationsByDeliveries) {
+  // With only parked traffic left, the logical clock must jump to the next
+  // release instead of burning one step per idle tick: a delay draw near the
+  // step budget would otherwise read as a livelock.
+  Testbed tb;
+  int conn = tb.add_ue(ue::StackProfile::cls(), kTestImsi, kTestKey);
+  ChannelConfig cfg;
+  cfg.downlink.delay = 1.0;  // every downlink parks
+  cfg.max_delay_steps = 40;  // close to the tight budget below
+  cfg.seed = 11;
+  tb.set_channel(cfg);
+  tb.power_on(conn);
+  Testbed::QuiesceReport report = tb.run_until_quiet_report(48);
+  EXPECT_TRUE(report.quiet()) << "idle delay ticks consumed the step budget";
+  EXPECT_GT(report.horizon_skips, 0);
+  EXPECT_EQ(tb.step_limit_hits(), 0u);
+}
+
 TEST(Testbed, P2LinkabilityScenario) {
   // Fig. 6 end-to-end: replay the victim's captured challenge to every UE
   // in the cell; only the victim answers with authentication_response.
