@@ -1,0 +1,136 @@
+// Remote learning: the resilient remote-SUL transport end to end.
+//
+//   1. Serve an in-process UE stack over loopback TCP (the framed,
+//      CRC-tagged wire protocol of DESIGN.md §12) and learn its Mealy
+//      machine through the socket — byte-identical to learning in process.
+//   2. Put the chaos proxy on the wire (delay + fragmentation + reorder) and
+//      learn again: the transport absorbs every fault, the result does not
+//      change.
+//   3. Point the learner at a dead port and watch it degrade *structurally*:
+//      the circuit breaker opens, queries answer "sul_unavailable", and the
+//      learner converges to an explicit inconclusive verdict — no hang, no
+//      exception.
+//   4. Run the scripted remote-conformance suite through a corrupting proxy:
+//      the CRC turns flipped bits into detected framing errors, so verdicts
+//      are PASS or INCONCLUSIVE, never silently wrong.
+//
+// Build & run:  ./build/examples/remote_learning
+#include <cstdio>
+#include <string>
+
+#include "learner/lstar.h"
+#include "learner/sul.h"
+#include "net/chaos_proxy.h"
+#include "net/remote_conformance.h"
+#include "net/remote_sul.h"
+#include "net/socket.h"
+#include "net/sul_server.h"
+
+using namespace procheck;
+
+namespace {
+
+learner::LearnOptions learn_options() {
+  learner::LearnOptions opts;
+  opts.eq_test_words = 60;
+  opts.eq_test_max_length = 6;
+  return opts;
+}
+
+net::RemoteSulOptions client_options(std::uint16_t port) {
+  net::RemoteSulOptions opts;
+  opts.port = port;
+  opts.connect_timeout_seconds = 0.2;
+  opts.backoff_base_seconds = 0.005;
+  opts.backoff_max_seconds = 0.05;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Remote learning over a fault-tolerant socket transport ===\n\n");
+  const ue::StackProfile profile = ue::StackProfile::srsue();
+
+  // Reference: learn the machine in process, no transport at all.
+  learner::UeSul local(profile);
+  const learner::LearnResult reference = learner::learn_mealy(local, learn_options());
+  const std::string reference_dot = reference.machine.to_fsm().to_dot("learned");
+  std::printf("in-process reference: %d states, %ld membership queries\n\n",
+              reference.machine.state_count, reference.membership_queries);
+
+  // (1) The same learner over clean loopback TCP.
+  std::printf("--- Step 1: learn over loopback TCP ---\n");
+  {
+    net::SulServer server(profile);
+    if (!server.start()) {
+      std::fprintf(stderr, "cannot bind a loopback port\n");
+      return 1;
+    }
+    net::RemoteUeSul remote(client_options(server.port()));
+    learner::LearnResult result = learner::learn_mealy(remote, learn_options());
+    std::printf("remote learn: %d states, FSM %s the in-process reference\n\n",
+                result.machine.state_count,
+                result.machine.to_fsm().to_dot("learned") == reference_dot
+                    ? "IDENTICAL to"
+                    : "DIFFERS from");
+  }
+
+  // (2) Same link, now through the chaos proxy under a lossless regime.
+  std::printf("--- Step 2: learn through delay + fragmentation + reorder ---\n");
+  {
+    net::SulServer server(profile);
+    server.start();
+    net::ChaosProxyOptions popts;
+    popts.upstream_port = server.port();
+    popts.faults.delay = 0.1;
+    popts.faults.fragment = 0.1;
+    popts.faults.reorder = 0.05;
+    popts.max_delay_ms = 2;
+    net::ChaosProxy proxy(popts);
+    proxy.start();
+
+    net::RemoteUeSul remote(client_options(proxy.port()));
+    learner::LearnResult result = learner::learn_mealy(remote, learn_options());
+    const net::RemoteSulStats stats = remote.stats();
+    std::printf("chaotic link: %ld proxy faults fired, %ld reconnects, %ld framing errors\n",
+                proxy.stats().faults(), stats.reconnects, stats.framing_errors);
+    std::printf("result: FSM %s the in-process reference\n\n",
+                result.machine.to_fsm().to_dot("learned") == reference_dot ? "IDENTICAL to"
+                                                                           : "DIFFERS from");
+  }
+
+  // (3) A dead server: structured degradation instead of a hang.
+  std::printf("--- Step 3: learn against a dead port ---\n");
+  {
+    std::uint16_t dead_port = 1;
+    if (auto listener = net::TcpListener::listen(0)) dead_port = listener->port();
+    // listener closed here: nothing answers on dead_port
+    net::RemoteUeSul remote(client_options(dead_port));
+    learner::LearnResult result = learner::learn_mealy(remote, learn_options());
+    std::printf("inconclusive=%s, breaker=%s, note: %s\n\n",
+                result.inconclusive ? "true" : "false",
+                std::string(net::to_string(remote.breaker())).c_str(), result.note.c_str());
+  }
+
+  // (4) Corruption regime: flipped bits become detected framing errors.
+  std::printf("--- Step 4: remote conformance through a corrupting proxy ---\n");
+  {
+    net::SulServer server(profile);
+    server.start();
+    net::ChaosProxyOptions popts;
+    popts.upstream_port = server.port();
+    popts.faults.corrupt = 0.05;
+    net::ChaosProxy proxy(popts);
+    proxy.start();
+
+    net::RemoteUeSul remote(client_options(proxy.port()));
+    net::RemoteConformanceReport report = net::run_remote_conformance(profile, remote);
+    std::printf("%s\n", report.render().c_str());
+    std::printf("proxy corrupted %ld chunks; client detected %ld framing errors; "
+                "failed verdicts: %d (must be 0 — corruption is never consumed)\n",
+                proxy.stats().corrupted, remote.stats().framing_errors, report.failed());
+  }
+
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "checker/prochecker.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "checker/baseline.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 
 namespace procheck::checker {
@@ -49,6 +51,32 @@ int ImplementationReport::contained_count() const {
 
 threat::ThreatModel ProChecker::build_threat_model(const fsm::Fsm& ue_fsm) {
   return threat::compose(ue_fsm, lteinspector_mme_model());
+}
+
+std::string analysis_options_hash(const AnalysisOptions& options,
+                                  const ue::StackProfile& profile) {
+  // Canonical text of every verdict-shaping knob, hashed with the repo's
+  // keyed PRF to 16 hex digits. Field order is part of the format: changing
+  // it (or adding a knob) intentionally invalidates old journals.
+  std::string canon;
+  canon += "max_states=" + std::to_string(options.max_states);
+  canon += ";cegar=" + std::to_string(options.max_cegar_iterations);
+  canon += ";budget=" + std::to_string(options.max_seconds_per_property);
+  canon += ";retries=" + std::to_string(options.retries);
+  canon += ";deadline=" + std::to_string(options.deadline_per_property);
+  canon += ";mem=" + std::to_string(options.mem_ceiling_bytes);
+  canon += ";freshness=";
+  canon += profile.sqn_freshness_limit ? std::to_string(*profile.sqn_freshness_limit) : "none";
+  canon += ";props=";
+  for (const std::string& id : options.only_properties) {  // std::set: sorted
+    canon += id;
+    canon += ',';
+  }
+  Bytes data(canon.begin(), canon.end());
+  std::uint64_t h = prf64(0x0A75BA5E, data);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(h));
+  return hex;
 }
 
 ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
@@ -113,6 +141,7 @@ ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
   sup.journal_path = options.journal_path;
   sup.resume = options.resume;
   sup.run_tag = profile.name;
+  sup.options_hash = analysis_options_hash(options, profile);
   sup.jobs = options.jobs > 0 ? static_cast<std::size_t>(options.jobs)
                               : ThreadPool::default_parallelism();
   sup.cancel = options.cancel;
@@ -120,6 +149,11 @@ ImplementationReport ProChecker::analyze(const ue::StackProfile& profile,
 
   SupervisedRun run =
       run_supervised(tm, report.checking_model, selected, crypto_options, cegar, sup);
+  if (run.aborted) {
+    report.aborted = true;
+    report.abort_reason = std::move(run.abort_reason);
+    return report;
+  }
   report.resumed_count = run.resumed;
   report.cancelled_count = run.cancelled;
   report.journal_error = std::move(run.journal_error);

@@ -64,6 +64,15 @@ struct AnalysisOptions {
   std::function<void(const std::string& property_id, int attempt)> fault_hook;
 };
 
+/// Fingerprint (16 hex digits) of the verdict-shaping slice of the analysis
+/// configuration: budgets, property selection, retries, and the profile's
+/// freshness-limit mitigation — everything that can change a journaled
+/// verdict. Deliberately excludes `jobs` (reports are byte-identical at any
+/// parallelism) and the journal/resume/cancel plumbing. Recorded in the run
+/// journal header; --resume refuses a mismatch.
+std::string analysis_options_hash(const AnalysisOptions& options,
+                                  const ue::StackProfile& profile);
+
 struct ImplementationReport {
   std::string profile_name;
   testing::ConformanceReport conformance;
@@ -85,6 +94,11 @@ struct ImplementationReport {
   std::size_t cancelled_count = 0;  // properties interrupted by cancellation
   /// Non-empty when the run journal could not be written (analysis continued).
   std::string journal_error;
+  /// The run refused to start (journal held by a live concurrent run, or
+  /// --resume against an options-incompatible journal). `results` is empty
+  /// and `abort_reason` carries the structured diagnostic.
+  bool aborted = false;
+  std::string abort_reason;
 
   int verified_count() const;
   int attack_count() const;

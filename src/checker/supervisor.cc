@@ -320,20 +320,30 @@ std::optional<FailureClass> failure_from_token(std::string_view t) {
   return std::nullopt;
 }
 
-constexpr int kJournalVersion = 1;
+// v2 adds "opts": the jobs-independent analysis-options fingerprint. A v1
+// journal (no fingerprint) fails the version check and is discarded like any
+// foreign journal — its verdicts may have been produced under different
+// budgets, which is exactly what the fingerprint exists to rule out.
+constexpr int kJournalVersion = 2;
 
-std::string encode_header(const std::string& tag) {
+std::string encode_header(const std::string& tag, const std::string& opts) {
   return std::string("{\"kind\":\"header\",\"v\":") + std::to_string(kJournalVersion) +
-         ",\"tag\":" + js(tag) + "}";
+         ",\"tag\":" + js(tag) + ",\"opts\":" + js(opts) + "}";
 }
 
-/// Returns the header tag, or nullopt if the payload is not a valid header.
-std::optional<std::string> decode_header(std::string_view payload) {
+struct Header {
+  std::string tag;
+  std::string opts;
+};
+
+/// Returns the header fields, or nullopt if the payload is not a valid
+/// current-version header.
+std::optional<Header> decode_header(std::string_view payload) {
   std::optional<Json> v = JsonParser(payload).parse();
   if (!v || !v->is(Json::Type::kObject)) return std::nullopt;
   if (v->get_str("kind") != "header") return std::nullopt;
   if (v->get_int("v") != kJournalVersion) return std::nullopt;
-  return v->get_str("tag");
+  return Header{v->get_str("tag"), v->get_str("opts")};
 }
 
 }  // namespace
@@ -578,6 +588,18 @@ SupervisedRun run_supervised(const threat::ThreatModel& tm, const fsm::Fsm& ue_f
                              const cpv::LteCryptoModel::Options& crypto_options,
                              const CegarOptions& cegar, const SupervisorOptions& options) {
   SupervisedRun run;
+
+  // --- Journal single-writer lock ------------------------------------------
+  // Two concurrent runs against the same journal would interleave commits and
+  // corrupt the resume state; the second one must fail fast and structured —
+  // before any outcome slot exists (a refused run verifies nothing).
+  JournalLock lock;
+  if (!options.journal_path.empty() && !lock.acquire(options.journal_path)) {
+    run.aborted = true;
+    run.abort_reason = "concurrent analyze run: " + lock.error();
+    return run;
+  }
+
   run.outcomes.resize(selected.size());
   std::vector<char> done(selected.size(), 0);
 
@@ -589,9 +611,23 @@ SupervisedRun run_supervised(const threat::ThreatModel& tm, const fsm::Fsm& ue_f
       bool header_ok = false;
       for (std::size_t k = 0; k < load.payloads.size(); ++k) {
         if (k == 0) {
-          std::optional<std::string> tag = decode_header(load.payloads[k]);
-          header_ok = tag && (options.run_tag.empty() || *tag == options.run_tag);
+          std::optional<Header> header = decode_header(load.payloads[k]);
+          header_ok = header && (options.run_tag.empty() || header->tag == options.run_tag);
           if (!header_ok) break;
+          if (!options.options_hash.empty() && header->opts != options.options_hash) {
+            // The journal's verdicts were produced under different analysis
+            // budgets/selection. Adopting them would mix incompatible runs;
+            // discarding them would silently throw away work the user asked
+            // to keep. Refuse, loudly.
+            run.aborted = true;
+            run.abort_reason = "resume refused: journal " + options.journal_path +
+                               " was written with options hash " +
+                               (header->opts.empty() ? std::string("<none>") : header->opts) +
+                               " but this run has " + options.options_hash +
+                               "; re-run with matching options or delete the journal";
+            run.outcomes.clear();  // a refused run verifies nothing
+            return run;
+          }
           continue;
         }
         std::optional<PropertyOutcome> outcome = decode_outcome(load.payloads[k]);
@@ -614,7 +650,7 @@ SupervisedRun run_supervised(const threat::ThreatModel& tm, const fsm::Fsm& ue_f
   if (!options.journal_path.empty()) {
     journal = std::make_unique<JournalWriter>(options.journal_path);
     if (journal->records() == 0) {
-      journal->append(encode_header(options.run_tag));
+      journal->append(encode_header(options.run_tag, options.options_hash));
       if (!journal->commit()) {
         run.journal_error = "cannot write journal at " + options.journal_path +
                             "; continuing without durability";

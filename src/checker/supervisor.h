@@ -84,6 +84,14 @@ struct SupervisorOptions {
   /// Journal header tag (the profile name): a resumed journal with a
   /// different tag is discarded, never mixed into this run's results.
   std::string run_tag;
+  /// Fingerprint of the analysis options that shape verdicts (budgets,
+  /// property selection — anything jobs-independent; see
+  /// checker::analysis_options_hash). Recorded in the journal header; a
+  /// --resume against a journal written under a *different* fingerprint is
+  /// refused outright (aborted run) — adopting those verdicts would silently
+  /// mix incompatible budgets into one report. "" disables the check
+  /// (legacy callers).
+  std::string options_hash;
 
   std::size_t jobs = 1;
   /// Cooperative run-level cancellation: properties not yet started are shed
@@ -103,6 +111,11 @@ struct SupervisedRun {
   /// Non-empty when journaling failed mid-run: the analysis continued
   /// (containment), but the journal is no longer extending.
   std::string journal_error;
+  /// True when the run refused to start (journal locked by a live process,
+  /// or --resume against an options-hash-incompatible journal). No property
+  /// was verified; `abort_reason` carries the structured diagnostic.
+  bool aborted = false;
+  std::string abort_reason;
 };
 
 /// Runs `selected` under supervision. Exceptions never escape a worker:

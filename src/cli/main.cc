@@ -17,12 +17,23 @@
 //   chaos --profile <cls|srsue|oai> [--intensity <p>]
 //       Re-runs the conformance suite under each fault-injection regime and
 //       reports degradation vs the fault-free baseline.
+//   serve-sul --profile <cls|srsue|oai> [--port <N>]
+//       Exposes the profile's UE stack as a remote SUL over the framed wire
+//       protocol (DESIGN.md §12) for `learn --remote` / `conformance
+//       --remote` on the other end.
+//   learn --profile <cls|srsue|oai> [--remote <host:port>] [--seed <S>]
+//       Active L* learning of the UE Mealy machine — in-process by default,
+//       or against a serve-sul endpoint with --remote (fault-tolerant
+//       transport; degraded runs end inconclusive, never hang).
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checker/prochecker.h"
@@ -31,6 +42,10 @@
 #include "common/thread_pool.h"
 #include "extractor/extractor.h"
 #include "instrument/source_instrumentor.h"
+#include "learner/lstar.h"
+#include "net/remote_conformance.h"
+#include "net/remote_sul.h"
+#include "net/sul_server.h"
 #include "testing/chaos.h"
 #include "testing/conformance.h"
 
@@ -40,9 +55,10 @@ using namespace procheck;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: prochecker <instrument|conformance|extract|analyze|chaos> [options]\n"
+               "usage: prochecker <instrument|conformance|extract|analyze|chaos|serve-sul|learn>"
+               " [options]\n"
                "  instrument <source-file> [--header <header-file>]\n"
-               "  conformance --profile <cls|srsue|oai> [--log <file>]\n"
+               "  conformance --profile <cls|srsue|oai> [--log <file>] [--remote <host:port>]\n"
                "  extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]"
                " [--recovery]\n"
                "  analyze --profile <cls|srsue|oai> [--properties <ids>]"
@@ -50,8 +66,25 @@ int usage() {
                " [--jobs <N>]\n"
                "          [--retries <N>] [--deadline-per-property <S>]"
                " [--mem-ceiling-mb <M>] [--journal <file>] [--resume <file>]\n"
-               "  chaos --profile <cls|srsue|oai> [--intensity <p>] [--jobs <N>]\n");
+               "  chaos --profile <cls|srsue|oai> [--intensity <p>] [--jobs <N>]\n"
+               "  serve-sul --profile <cls|srsue|oai> [--port <N>]\n"
+               "  learn --profile <cls|srsue|oai> [--remote <host:port>] [--seed <S>]"
+               " [--dot]\n");
   return 2;
+}
+
+/// Splits "host:port"; nullopt on malformation.
+std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(const std::string& text) {
+  std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    unsigned long port = std::stoul(text.substr(colon + 1), &pos);
+    if (pos != text.size() - colon - 1 || port == 0 || port > 65535) return std::nullopt;
+    return std::make_pair(text.substr(0, colon), static_cast<std::uint16_t>(port));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -160,9 +193,31 @@ int cmd_instrument(const Args& args) {
   return 0;
 }
 
+// --remote host:port: differential conformance against a serve-sul endpoint
+// (scripted flows; expectations from the local reference stack). Exit 0 when
+// every scenario passes, 1 on behavioral divergence, 3 when the transport
+// degraded and verdicts are inconclusive.
+int cmd_remote_conformance(const ue::StackProfile& profile, const std::string& endpoint) {
+  auto ep = parse_endpoint(endpoint);
+  if (!ep) return bad_option("remote", endpoint);
+  net::RemoteSulOptions ropts;
+  ropts.host = ep->first;
+  ropts.port = ep->second;
+  net::RemoteUeSul sul(ropts);
+  net::RemoteConformanceReport report = net::run_remote_conformance(profile, sul);
+  std::fputs(report.render().c_str(), stdout);
+  if (!report.conclusive()) {
+    std::fprintf(stderr, "transport degraded (%ld unavailable answers): inconclusive\n",
+                 sul.stats().unavailable_answers);
+    return 3;
+  }
+  return report.failed() == 0 ? 0 : 1;
+}
+
 int cmd_conformance(const Args& args) {
   auto profile = profile_by_name(args.get("profile"));
   if (!profile) return usage();
+  if (args.has("remote")) return cmd_remote_conformance(*profile, args.get("remote"));
   instrument::TraceLogger trace;
   testing::ConformanceReport report = testing::run_conformance(*profile, trace);
   for (const testing::TestResult& r : report.results) {
@@ -289,6 +344,12 @@ int cmd_analyze(const Args& args) {
   }
 
   checker::ImplementationReport rep = checker::ProChecker::analyze(*profile, options);
+  if (rep.aborted) {
+    // Structured refusal (journal locked by a live run, or --resume against
+    // an options-incompatible journal): no verdicts were produced.
+    std::fprintf(stderr, "error: analyze aborted: %s\n", rep.abort_reason.c_str());
+    return 1;
+  }
 
   // The verdict block is the canonical deterministic rendering: a resumed
   // run must reproduce it byte-for-byte (journal/resume status goes to
@@ -317,6 +378,93 @@ int cmd_analyze(const Args& args) {
   if (!rep.journal_error.empty()) {
     std::fprintf(stderr, "journal warning: %s\n", rep.journal_error.c_str());
   }
+  return 0;
+}
+
+std::sig_atomic_t volatile g_interrupted = 0;
+
+int cmd_serve_sul(const Args& args) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+  net::SulServerOptions options;
+  if (args.has("port")) {
+    auto v = parse_u64(args.get("port"));
+    if (!v || *v > 65535) return bad_option("port", args.get("port"));
+    options.port = static_cast<std::uint16_t>(*v);
+  }
+  net::SulServer server(*profile, options);
+  if (!server.start()) {
+    std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", options.port);
+    return 1;
+  }
+  std::fprintf(stderr, "serving %s SUL on 127.0.0.1:%u (ctrl-c to stop)\n",
+               profile->name.c_str(), server.port());
+  std::signal(SIGINT, [](int) { g_interrupted = 1; });
+  std::signal(SIGTERM, [](int) { g_interrupted = 1; });
+  while (!g_interrupted) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  net::SulServerStats stats = server.stats();
+  std::fprintf(stderr, "served %ld connections, %ld resets, %ld steps\n", stats.connections,
+               stats.resets, stats.steps);
+  return 0;
+}
+
+int cmd_learn(const Args& args) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+  learner::LearnOptions options;
+  if (args.has("seed")) {
+    auto v = parse_u64(args.get("seed"));
+    if (!v) return bad_option("seed", args.get("seed"));
+    options.seed = *v;
+  }
+
+  learner::LearnResult result;
+  if (args.has("remote")) {
+    auto ep = parse_endpoint(args.get("remote"));
+    if (!ep) return bad_option("remote", args.get("remote"));
+    net::RemoteSulOptions ropts;
+    ropts.host = ep->first;
+    ropts.port = ep->second;
+    ropts.heartbeat_seconds = 0.5;
+    net::RemoteUeSul sul(ropts);
+    result = learner::learn_mealy(sul, options);
+    net::RemoteSulStats stats = sul.stats();
+    std::fprintf(stderr,
+                 "transport: %ld connects (%ld re), %ld framing errors, %ld timeouts,"
+                 " %ld breaker opens, %ld nondeterministic queries\n",
+                 stats.connects, stats.reconnects, stats.framing_errors, stats.rpc_timeouts,
+                 stats.breaker_opens, stats.nondeterministic_queries);
+  } else {
+    learner::UeSul sul(*profile);
+    result = learner::learn_mealy(sul, options);
+  }
+
+  if (result.inconclusive) {
+    std::fprintf(stderr, "error: learning inconclusive: %s\n", result.note.c_str());
+    return 3;
+  }
+  // Deterministic rendering (the FSM view): remote runs over lossless chaos
+  // regimes must reproduce the in-process output byte-for-byte.
+  fsm::Fsm m = result.machine.to_fsm();
+  if (args.has("dot")) {
+    std::printf("%s", m.to_dot("learned_" + profile->name).c_str());
+  } else {
+    auto s = m.stats();
+    std::printf("learned Mealy machine: %d states, %zu transitions\n",
+                result.machine.state_count, s.transitions);
+    for (const fsm::Transition& t : m.transitions()) {
+      std::printf("  %s\n", t.label().c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "%ld membership queries, %ld equivalence rounds, %ld counterexamples,"
+               " %ld resets, %ld steps, %s\n",
+               result.membership_queries, result.equivalence_queries, result.counterexamples,
+               result.sul_resets, result.sul_steps,
+               result.converged ? "converged" : "round budget exhausted");
   return 0;
 }
 
@@ -361,5 +509,7 @@ int main(int argc, char** argv) {
   if (cmd == "extract") return cmd_extract(args);
   if (cmd == "analyze") return cmd_analyze(args);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "serve-sul") return cmd_serve_sul(args);
+  if (cmd == "learn") return cmd_learn(args);
   return usage();
 }

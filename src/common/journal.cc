@@ -1,10 +1,14 @@
 #include "common/journal.h"
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace procheck {
@@ -96,6 +100,81 @@ JournalLoad load_journal(const std::string& path) {
     load.payloads.push_back(std::move(payload));
   }
   return load;
+}
+
+JournalLock::JournalLock(JournalLock&& other) noexcept
+    : lock_path_(std::move(other.lock_path_)),
+      error_(std::move(other.error_)),
+      held_(other.held_) {
+  other.held_ = false;
+}
+
+JournalLock& JournalLock::operator=(JournalLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    lock_path_ = std::move(other.lock_path_);
+    error_ = std::move(other.error_);
+    held_ = other.held_;
+    other.held_ = false;
+  }
+  return *this;
+}
+
+namespace {
+
+/// Reads the pid recorded in a lock file; 0 when unreadable/garbled.
+long lock_holder_pid(const std::string& lock_path) {
+  std::ifstream in(lock_path);
+  long pid = 0;
+  if (!(in >> pid) || pid <= 0) return 0;
+  return pid;
+}
+
+bool try_create_lock(const std::string& lock_path) {
+  int fd = ::open(lock_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  std::string body = std::to_string(static_cast<long>(::getpid())) + "\n";
+  (void)!::write(fd, body.data(), body.size());
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+bool JournalLock::acquire(const std::string& journal_path) {
+  release();
+  lock_path_ = journal_path + ".lock";
+  error_.clear();
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (try_create_lock(lock_path_)) {
+      held_ = true;
+      return true;
+    }
+    if (errno != EEXIST) {
+      error_ = "cannot create lock file " + lock_path_;
+      return false;
+    }
+    long pid = lock_holder_pid(lock_path_);
+    bool holder_alive = pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH);
+    if (holder_alive) {
+      error_ = "journal " + journal_path + " is locked by pid " + std::to_string(pid) +
+               " (" + lock_path_ + ")";
+      return false;
+    }
+    // Stale lock from a crashed run: steal it and retry the exclusive
+    // create once (racing stealers — at most one create succeeds).
+    std::remove(lock_path_.c_str());
+  }
+  error_ = "journal " + journal_path + " lock contended (" + lock_path_ + ")";
+  return false;
+}
+
+void JournalLock::release() {
+  if (held_) {
+    std::remove(lock_path_.c_str());
+    held_ = false;
+  }
 }
 
 JournalWriter::JournalWriter(std::string path) : path_(std::move(path)) {

@@ -38,6 +38,41 @@ struct JournalLoad {
 /// everything after it count as `dropped`. A missing file is an empty load.
 JournalLoad load_journal(const std::string& path);
 
+/// Advisory single-writer lock for a journal path. Two concurrent
+/// `analyze --journal` runs against the same file would interleave commits
+/// and corrupt the resume state; the lock makes the second run fail fast
+/// with a structured diagnostic instead.
+///
+/// Implementation: `<path>.lock` created with O_CREAT|O_EXCL holding the
+/// owner's pid. A crash leaves the lock file behind, so acquisition steals
+/// locks whose recorded pid no longer exists (stale-lock recovery) — only a
+/// *live* holder blocks.
+class JournalLock {
+ public:
+  JournalLock() = default;
+  ~JournalLock() { release(); }
+  JournalLock(JournalLock&& other) noexcept;
+  JournalLock& operator=(JournalLock&& other) noexcept;
+  JournalLock(const JournalLock&) = delete;
+  JournalLock& operator=(const JournalLock&) = delete;
+
+  /// Tries to take the lock for `journal_path`. False when another live
+  /// process holds it; `error()` then names the holder.
+  bool acquire(const std::string& journal_path);
+  /// Removes the lock file (idempotent; the destructor calls it too).
+  void release();
+
+  bool held() const { return held_; }
+  const std::string& error() const { return error_; }
+  /// The lock file path (`<journal>.lock`).
+  const std::string& lock_path() const { return lock_path_; }
+
+ private:
+  std::string lock_path_;
+  std::string error_;
+  bool held_ = false;
+};
+
 class JournalWriter {
  public:
   /// Binds the writer to `path`. If the file exists, its valid prefix is

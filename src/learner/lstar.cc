@@ -20,7 +20,7 @@ Word concat(const Word& a, const Word& b) {
 /// Observation table with a membership-query cache.
 class ObservationTable {
  public:
-  ObservationTable(UeSul& sul, LearnResult& result) : sul_(sul), result_(result) {
+  ObservationTable(Sul& sul, LearnResult& result) : sul_(sul), result_(result) {
     prefixes_.push_back({});  // ε
     for (const std::string& a : input_alphabet()) {
       suffixes_.push_back({a});
@@ -51,9 +51,14 @@ class ObservationTable {
     return sig;
   }
 
+  /// True once any membership query came back unanswerable: the SUL
+  /// degraded to kSulUnavailable, so every row signature from here on is
+  /// untrustworthy and learning must stop.
+  bool unavailable() const { return unavailable_; }
+
   /// Makes the table closed and consistent; returns the hypothesis.
   MealyMachine close_and_build() {
-    for (bool changed = true; changed;) {
+    for (bool changed = true; changed && !unavailable_;) {
       changed = false;
       // Closedness: every one-step extension's row must match some prefix row.
       std::set<std::string> prefix_rows;
@@ -92,7 +97,9 @@ class ObservationTable {
         }
       }
     }
-    return build();
+    // An unanswerable table cannot support a hypothesis; hand back an empty
+    // machine rather than building states out of kSulUnavailable rows.
+    return unavailable_ ? MealyMachine() : build();
   }
 
   /// Counterexample processing: add every suffix of the word to E.
@@ -107,6 +114,14 @@ class ObservationTable {
     if (it != query_cache_.end()) return it->second;
     ++result_.membership_queries;
     Word outputs = sul_.run(word);
+    for (const std::string& o : outputs) {
+      if (o == kSulUnavailable) {
+        // Don't cache unanswerable words: a later retry (e.g. after the
+        // remote circuit closes again) must hit the SUL, not the poison.
+        unavailable_ = true;
+        return outputs;
+      }
+    }
     query_cache_.emplace(word, outputs);
     return outputs;
   }
@@ -144,8 +159,9 @@ class ObservationTable {
     return m;
   }
 
-  UeSul& sul_;
+  Sul& sul_;
   LearnResult& result_;
+  bool unavailable_ = false;
   std::vector<Word> prefixes_;   // S
   std::vector<Word> suffixes_;   // E
   std::map<std::pair<Word, Word>, Word> cells_;
@@ -183,13 +199,14 @@ fsm::Fsm MealyMachine::to_fsm() const {
   return m;
 }
 
-LearnResult learn_mealy(UeSul& sul, const LearnOptions& options) {
+LearnResult learn_mealy(Sul& sul, const LearnOptions& options) {
   LearnResult result;
   ObservationTable table(sul, result);
   Rng rng(options.seed);
 
   for (int round = 0; round < options.max_rounds; ++round) {
     result.machine = table.close_and_build();
+    if (table.unavailable()) break;
     ++result.equivalence_queries;
 
     // Random-testing equivalence oracle.
@@ -201,15 +218,22 @@ LearnResult learn_mealy(UeSul& sul, const LearnOptions& options) {
         word.push_back(input_alphabet()[rng.next_below(input_alphabet().size())]);
       }
       if (table.query(word) != result.machine.run(word)) {
+        if (table.unavailable()) break;
         ++result.counterexamples;
         table.process_counterexample(word);
         found_cex = true;
       }
     }
+    if (table.unavailable()) break;
     if (!found_cex) {
       result.converged = true;
       break;
     }
+  }
+  if (table.unavailable()) {
+    result.inconclusive = true;
+    result.converged = false;
+    result.note = "sul_unavailable during membership query; learning aborted";
   }
   result.sul_resets = sul.resets();
   result.sul_steps = sul.steps();

@@ -51,6 +51,12 @@ struct LearnResult {
   long sul_resets = 0;
   long sul_steps = 0;
   bool converged = false;  // equivalence oracle found no counterexample
+  /// The SUL degraded to kSulUnavailable mid-learning (remote transport
+  /// down, circuit open): the run terminated with a structured inconclusive
+  /// result instead of learning from unanswerable queries. `machine` is the
+  /// last (possibly empty) hypothesis and must not be trusted.
+  bool inconclusive = false;
+  std::string note;  // diagnostic when inconclusive
 };
 
 struct LearnOptions {
@@ -62,7 +68,9 @@ struct LearnOptions {
   int max_rounds = 25;
 };
 
-/// Learns a Mealy machine for the UE black box over input_alphabet().
-LearnResult learn_mealy(UeSul& sul, const LearnOptions& options = LearnOptions());
+/// Learns a Mealy machine for the UE black box over input_alphabet(). Works
+/// against any Sul — the in-process harness or net::RemoteUeSul; an
+/// unavailable SUL yields result.inconclusive, never a hang or a throw.
+LearnResult learn_mealy(Sul& sul, const LearnOptions& options = LearnOptions());
 
 }  // namespace procheck::learner

@@ -132,7 +132,7 @@ std::string UeSul::step(const std::string& input) {
   return out;
 }
 
-std::vector<std::string> UeSul::run(const std::vector<std::string>& word) {
+std::vector<std::string> Sul::run(const std::vector<std::string>& word) {
   reset();
   std::vector<std::string> outputs;
   outputs.reserve(word.size());

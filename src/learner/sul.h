@@ -35,22 +35,42 @@ inline const std::vector<std::string>& input_alphabet() {
   return kAlphabet;
 }
 
+/// Distinguished output symbol a transport-backed SUL degrades to when the
+/// system under learning cannot be reached (circuit open, retries exhausted).
+/// Learners treat any word containing it as unanswerable and converge to a
+/// structured inconclusive result instead of learning from garbage.
+inline constexpr const char* kSulUnavailable = "sul_unavailable";
+
 /// Black-box interface: reset to the initial state, then step through input
 /// symbols observing output symbols (the response message name or "null").
-class UeSul {
+/// Implementations: the in-process UeSul below and net::RemoteUeSul (the
+/// same queries over a fault-tolerant socket transport).
+class Sul {
+ public:
+  virtual ~Sul() = default;
+
+  virtual void reset() = 0;
+  /// Executes one abstract input; returns the output symbol. Counts both
+  /// resets and steps (the cost metrics the paper's comparison is about).
+  virtual std::string step(const std::string& input) = 0;
+
+  virtual long resets() const = 0;
+  virtual long steps() const = 0;
+
+  /// Runs a whole word from the initial state (reset + steps).
+  std::vector<std::string> run(const std::vector<std::string>& word);
+};
+
+/// The in-process harness driving the simulated UE stack directly.
+class UeSul final : public Sul {
  public:
   explicit UeSul(ue::StackProfile profile);
 
-  void reset();
-  /// Executes one abstract input; returns the output symbol. Counts both
-  /// resets and steps (the cost metrics the paper's comparison is about).
-  std::string step(const std::string& input);
+  void reset() override;
+  std::string step(const std::string& input) override;
 
-  /// Runs a whole word from the initial state.
-  std::vector<std::string> run(const std::vector<std::string>& word);
-
-  long resets() const { return resets_; }
-  long steps() const { return steps_; }
+  long resets() const override { return resets_; }
+  long steps() const override { return steps_; }
 
  private:
   nas::NasPdu craft(const std::string& input, bool* ue_initiated);

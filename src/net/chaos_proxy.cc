@@ -1,0 +1,203 @@
+#include "net/chaos_proxy.h"
+
+#include <chrono>
+
+namespace procheck::net {
+
+namespace {
+
+void sleep_ms(int ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(options), rng_(options.seed) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+bool ChaosProxy::start() {
+  auto listener = TcpListener::listen(options_.listen_port);
+  if (!listener) return false;
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { pump_loop(); });
+  return true;
+}
+
+void ChaosProxy::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ChaosProxy::Fault ChaosProxy::draw_fault() {
+  // Caller holds mu_. At most one fault per chunk, fixed draw order, and an
+  // inactive profile consumes no randomness (byte-transparent regression).
+  const ProxyFaultProfile& p = options_.faults;
+  if (!p.active()) return Fault::kNone;
+  auto roll = [this](double prob) {
+    if (prob <= 0) return false;
+    return static_cast<double>(rng_.next_below(1u << 20)) / static_cast<double>(1u << 20) < prob;
+  };
+  if (roll(p.reset)) return Fault::kReset;
+  if (roll(p.corrupt)) return Fault::kCorrupt;
+  if (roll(p.reorder)) return Fault::kReorder;
+  if (roll(p.fragment)) return Fault::kFragment;
+  if (roll(p.delay)) return Fault::kDelay;
+  return Fault::kNone;
+}
+
+void ChaosProxy::pump_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto client = listener_.accept(options_.poll_seconds);
+    if (!client) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.connections;
+    }
+    pump_connection(std::move(*client));
+  }
+}
+
+void ChaosProxy::pump_connection(TcpConn client) {
+  auto upstream = TcpConn::connect(options_.upstream_host, options_.upstream_port,
+                                   options_.poll_seconds * 10);
+  if (!upstream) return;  // server gone: client sees EOF and backs off
+
+  // One pump thread alternates short bounded reads on both directions; the
+  // reorder fault holds a chunk per direction until the next one arrives.
+  Bytes held_up;    // client → upstream
+  Bytes held_down;  // upstream → client
+  while (!stop_.load(std::memory_order_acquire)) {
+    Bytes chunk;
+    bool moved = false;
+
+    auto status = client.recv_some(chunk, 4096, options_.poll_seconds);
+    if (status == TcpConn::RecvStatus::kData) {
+      moved = true;
+      if (!forward(*upstream, std::move(chunk), held_up)) return;
+    } else if (status != TcpConn::RecvStatus::kTimeout) {
+      break;  // client closed; flush and go home
+    }
+
+    chunk.clear();
+    status = upstream->recv_some(chunk, 4096, options_.poll_seconds);
+    if (status == TcpConn::RecvStatus::kData) {
+      moved = true;
+      if (!forward(client, std::move(chunk), held_down)) return;
+    } else if (status != TcpConn::RecvStatus::kTimeout) {
+      break;  // upstream closed
+    }
+
+    // Idle moment: a held reorder chunk has no successor to swap with, so
+    // release it rather than stalling the conversation forever.
+    if (!moved) {
+      if (!held_up.empty()) {
+        Bytes flush;
+        flush.swap(held_up);
+        if (!upstream->send_all(flush, options_.poll_seconds * 10)) return;
+      }
+      if (!held_down.empty()) {
+        Bytes flush;
+        flush.swap(held_down);
+        if (!client.send_all(flush, options_.poll_seconds * 10)) return;
+      }
+    }
+  }
+  // Orderly teardown: flush what we held so no bytes are lost.
+  if (!held_up.empty()) upstream->send_all(held_up, options_.poll_seconds * 10);
+  if (!held_down.empty()) client.send_all(held_down, options_.poll_seconds * 10);
+}
+
+bool ChaosProxy::forward(TcpConn& dst, Bytes chunk, Bytes& held) {
+  Fault fault;
+  int delay_ms = 0;
+  std::size_t flip_bit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.chunks;
+    fault = draw_fault();
+    switch (fault) {
+      case Fault::kDelay:
+        ++stats_.delayed;
+        delay_ms = 1 + static_cast<int>(rng_.next_below(
+                           static_cast<std::uint64_t>(options_.max_delay_ms)));
+        break;
+      case Fault::kFragment:
+        ++stats_.fragmented;
+        break;
+      case Fault::kReorder:
+        ++stats_.reordered;
+        break;
+      case Fault::kCorrupt:
+        if (chunk.empty()) {
+          fault = Fault::kNone;
+          break;
+        }
+        ++stats_.corrupted;
+        flip_bit = rng_.next_below(chunk.size() * 8);
+        break;
+      case Fault::kReset:
+        ++stats_.resets;
+        break;
+      case Fault::kNone:
+        break;
+    }
+  }
+
+  const double send_budget = options_.poll_seconds * 20;
+  // A chunk held for reorder goes out *before* this one.
+  auto send_with_held = [&](const Bytes& data) {
+    if (!held.empty()) {
+      Bytes first;
+      first.swap(held);
+      if (!dst.send_all(first, send_budget)) return false;
+    }
+    return dst.send_all(data, send_budget);
+  };
+
+  switch (fault) {
+    case Fault::kReset:
+      return false;  // caller closes both sides: a mid-message connection kill
+    case Fault::kCorrupt:
+      chunk[flip_bit / 8] ^= static_cast<std::uint8_t>(1u << (flip_bit % 8));
+      return send_with_held(chunk);
+    case Fault::kDelay:
+      sleep_ms(delay_ms);
+      return send_with_held(chunk);
+    case Fault::kFragment: {
+      if (!held.empty()) {
+        Bytes first;
+        first.swap(held);
+        if (!dst.send_all(first, send_budget)) return false;
+      }
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        Bytes one{chunk[i]};
+        if (!dst.send_all(one, send_budget)) return false;
+      }
+      return true;
+    }
+    case Fault::kReorder:
+      if (!held.empty()) {
+        // Already holding one: this chunk jumps the queue (the swap).
+        Bytes first;
+        first.swap(held);
+        if (!dst.send_all(chunk, send_budget)) return false;
+        return dst.send_all(first, send_budget);
+      }
+      held = std::move(chunk);  // wait for a successor to swap with
+      return true;
+    case Fault::kNone:
+      return send_with_held(chunk);
+  }
+  return true;
+}
+
+}  // namespace procheck::net

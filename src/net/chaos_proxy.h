@@ -1,0 +1,111 @@
+// Byte-level chaos TCP proxy (DESIGN.md §12).
+//
+// Sits between RemoteUeSul and SulServer and mangles the byte stream the
+// same way PR-1's ChannelModel mangles PDUs — but one layer down, where the
+// faults a real network inflicts on a socket actually live:
+//
+//   * delay       — hold a chunk a few milliseconds before forwarding;
+//   * fragment    — split a chunk into single-byte writes (exercises the
+//                   incremental FrameReader; semantically lossless);
+//   * reorder     — hold a chunk and flush it *after* the next one in the
+//                   same direction (breaks framing → detected, recovered by
+//                   reconnect+replay; still lossless end-to-end);
+//   * corrupt     — flip one random bit in flight. The wire CRC must turn
+//                   this into a *detected framing error*, never bad data —
+//                   the contract the corruption-regime tests pin;
+//   * reset       — close both sides mid-stream (mid-message resets).
+//
+// Faults are drawn per chunk from a seeded SplitMix64 stream, so every run
+// is reproducible; with an all-zero profile the proxy is byte-transparent
+// (the inertness regression the net suite checks first).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/socket.h"
+
+namespace procheck::net {
+
+/// Per-chunk fault probabilities, each in [0, 1]. At most one fault fires
+/// per chunk, drawn in reset → corrupt → reorder → fragment → delay order.
+struct ProxyFaultProfile {
+  double delay = 0.0;
+  double fragment = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+  double reset = 0.0;
+
+  bool active() const {
+    return delay > 0 || fragment > 0 || reorder > 0 || corrupt > 0 || reset > 0;
+  }
+};
+
+struct ChaosProxyOptions {
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  std::uint16_t listen_port = 0;  // 0 = ephemeral
+  ProxyFaultProfile faults;
+  std::uint64_t seed = 0xC4A05C4A05ULL;
+  /// Hold time for a delayed chunk, in milliseconds (bounded).
+  int max_delay_ms = 5;
+  double poll_seconds = 0.01;
+};
+
+struct ChaosProxyStats {
+  long connections = 0;
+  long chunks = 0;      // chunks that entered the proxy
+  long delayed = 0;
+  long fragmented = 0;
+  long reordered = 0;
+  long corrupted = 0;
+  long resets = 0;      // connections the proxy killed
+
+  long faults() const { return delayed + fragmented + reordered + corrupted + resets; }
+};
+
+/// One client at a time (the remote-SUL link is sequential). start() spawns
+/// the pump thread; stop() tears everything down.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool start();
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  ChaosProxyStats stats() const;
+
+ private:
+  enum class Fault : std::uint8_t { kNone, kDelay, kFragment, kReorder, kCorrupt, kReset };
+
+  void pump_loop();
+  /// Forwards both directions for one client connection until either side
+  /// dies or a reset fault fires.
+  void pump_connection(TcpConn client);
+  /// Applies the drawn fault and forwards `chunk` to `dst`; `held` is the
+  /// per-direction reorder buffer. False when the connection must die.
+  bool forward(TcpConn& dst, Bytes chunk, Bytes& held);
+  Fault draw_fault();
+
+  ChaosProxyOptions options_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  ChaosProxyStats stats_;
+};
+
+}  // namespace procheck::net

@@ -1,0 +1,104 @@
+#include "net/remote_conformance.h"
+
+#include <sstream>
+
+namespace procheck::net {
+
+const std::vector<RemoteScenario>& remote_scenarios() {
+  static const std::vector<RemoteScenario> kScenarios = {
+      {"RC-01-attach", {"power_on", "authentication_request", "security_mode_command",
+                        "attach_accept"}},
+      {"RC-02-auth-only", {"power_on", "authentication_request"}},
+      {"RC-03-smc-before-auth", {"power_on", "security_mode_command"}},
+      {"RC-04-plain-accept", {"power_on", "attach_accept"}},
+      {"RC-05-identity-plain", {"power_on", "identity_request"}},
+      {"RC-06-identity-secured", {"power_on", "authentication_request",
+                                  "security_mode_command", "identity_request"}},
+      {"RC-07-guti-realloc", {"power_on", "authentication_request", "security_mode_command",
+                              "attach_accept", "guti_reallocation_command"}},
+      {"RC-08-detach", {"power_on", "authentication_request", "security_mode_command",
+                        "attach_accept", "detach_request"}},
+      {"RC-09-reject", {"power_on", "attach_reject", "attach_accept"}},
+      {"RC-10-paging", {"power_on", "authentication_request", "security_mode_command",
+                        "attach_accept", "paging"}},
+      {"RC-11-reauth", {"power_on", "authentication_request", "authentication_request",
+                        "security_mode_command"}},
+      {"RC-12-double-smc", {"power_on", "authentication_request", "security_mode_command",
+                            "security_mode_command", "attach_accept"}},
+  };
+  return kScenarios;
+}
+
+std::string_view to_string(RemoteVerdict verdict) {
+  switch (verdict) {
+    case RemoteVerdict::kPass:
+      return "PASS";
+    case RemoteVerdict::kFail:
+      return "FAIL";
+    case RemoteVerdict::kInconclusive:
+      return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+int RemoteConformanceReport::passed() const {
+  int n = 0;
+  for (const auto& r : results) n += r.verdict == RemoteVerdict::kPass;
+  return n;
+}
+
+int RemoteConformanceReport::failed() const {
+  int n = 0;
+  for (const auto& r : results) n += r.verdict == RemoteVerdict::kFail;
+  return n;
+}
+
+int RemoteConformanceReport::inconclusive() const {
+  int n = 0;
+  for (const auto& r : results) n += r.verdict == RemoteVerdict::kInconclusive;
+  return n;
+}
+
+std::string RemoteConformanceReport::render() const {
+  std::ostringstream out;
+  out << "remote conformance: profile " << profile << "\n";
+  for (const auto& r : results) {
+    out << "  " << r.id << " " << to_string(r.verdict);
+    if (r.verdict == RemoteVerdict::kFail) {
+      out << " (expected";
+      for (const auto& o : r.expected) out << " " << o;
+      out << "; got";
+      for (const auto& o : r.actual) out << " " << o;
+      out << ")";
+    }
+    out << "\n";
+  }
+  out << passed() << "/" << total() << " passed, " << failed() << " failed, "
+      << inconclusive() << " inconclusive\n";
+  return out.str();
+}
+
+RemoteConformanceReport run_remote_conformance(const ue::StackProfile& profile,
+                                               learner::Sul& sul) {
+  RemoteConformanceReport report;
+  report.profile = profile.name;
+  learner::UeSul reference(profile);
+  for (const RemoteScenario& scenario : remote_scenarios()) {
+    RemoteCaseResult r;
+    r.id = scenario.id;
+    r.word = scenario.word;
+    r.expected = reference.run(scenario.word);
+    r.actual = sul.run(scenario.word);
+    bool unavailable = false;
+    for (const std::string& o : r.actual) unavailable |= (o == learner::kSulUnavailable);
+    if (unavailable) {
+      r.verdict = RemoteVerdict::kInconclusive;
+    } else {
+      r.verdict = r.actual == r.expected ? RemoteVerdict::kPass : RemoteVerdict::kFail;
+    }
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace procheck::net

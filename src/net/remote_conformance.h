@@ -1,0 +1,68 @@
+// Differential conformance over a remote SUL (DESIGN.md §12).
+//
+// The full Testbed conformance suite needs white-box access (adversary
+// interceptors, channel hooks) that a reset/step wire protocol cannot carry.
+// What the remote boundary *can* check is behavioral equivalence: a fixed
+// set of scripted attach/security flows over the abstract alphabet, with the
+// expected outputs computed by an in-process learner::UeSul built from the
+// same profile. A remote stack that answers every scripted word like the
+// local reference passes; a transport that degrades to kSulUnavailable
+// yields an explicit *inconclusive* verdict (never a bogus fail, never a
+// hang) — the structured-degradation contract of the whole net layer.
+//
+// render() is deterministic, so interrupted-and-reconnected runs can be
+// pinned byte-identical to uninterrupted ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "learner/sul.h"
+#include "ue/profile.h"
+
+namespace procheck::net {
+
+/// One scripted flow over the abstract input alphabet.
+struct RemoteScenario {
+  std::string id;
+  std::vector<std::string> word;
+};
+
+/// The scripted suite: attach/security flows the paper's conformance themes
+/// map onto the learning alphabet.
+const std::vector<RemoteScenario>& remote_scenarios();
+
+enum class RemoteVerdict : std::uint8_t { kPass, kFail, kInconclusive };
+std::string_view to_string(RemoteVerdict verdict);
+
+struct RemoteCaseResult {
+  std::string id;
+  std::vector<std::string> word;
+  std::vector<std::string> expected;  // local reference outputs
+  std::vector<std::string> actual;    // remote outputs
+  RemoteVerdict verdict = RemoteVerdict::kInconclusive;
+};
+
+struct RemoteConformanceReport {
+  std::string profile;
+  std::vector<RemoteCaseResult> results;
+
+  int passed() const;
+  int failed() const;
+  int inconclusive() const;
+  int total() const { return static_cast<int>(results.size()); }
+  /// Every scenario produced a definite verdict (no transport degradation).
+  bool conclusive() const { return inconclusive() == 0; }
+
+  /// Canonical deterministic rendering; byte-identity across interrupted and
+  /// clean runs is pinned by the net suite.
+  std::string render() const;
+};
+
+/// Runs the scripted suite: expectations from a fresh in-process UeSul over
+/// `profile`, observations from `sul` (typically a RemoteUeSul). Any word
+/// whose remote answer contains learner::kSulUnavailable is inconclusive.
+RemoteConformanceReport run_remote_conformance(const ue::StackProfile& profile,
+                                               learner::Sul& sul);
+
+}  // namespace procheck::net

@@ -1,0 +1,350 @@
+#include "net/remote_sul.h"
+
+#include <algorithm>
+
+namespace procheck::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t) {
+  return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+void sleep_seconds(double s) {
+  if (s > 0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+RemoteUeSul::RemoteUeSul(RemoteSulOptions options)
+    : options_(options), jitter_(options.seed) {
+  if (options_.heartbeat_seconds > 0) {
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+RemoteUeSul::~RemoteUeSul() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    stopping_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn_.valid()) {
+    Frame bye;
+    bye.type = FrameType::kBye;
+    bye.epoch = epoch_;
+    bye.seq = ++seq_;
+    conn_.send_all(encode_frame(bye), 0.05);  // best-effort courtesy
+  }
+}
+
+void RemoteUeSul::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++resets_;
+  word_.clear();
+  server_synced_ = false;  // the reset frame rides with the next step
+}
+
+long RemoteUeSul::resets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resets_;
+}
+
+long RemoteUeSul::steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steps_;
+}
+
+RemoteSulStats RemoteUeSul::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BreakerState RemoteUeSul::breaker() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_;
+}
+
+std::string RemoteUeSul::server_profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_profile_;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+bool RemoteUeSul::breaker_allows_locked() {
+  switch (breaker_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (seconds_since(breaker_opened_at_) < options_.breaker_open_seconds) return false;
+      breaker_ = BreakerState::kHalfOpen;  // cooldown elapsed: one probe
+      ++stats_.breaker_probes;
+      return true;
+    case BreakerState::kHalfOpen:
+      // A probe is conceptually in flight; the single-threaded query path
+      // means we *are* the probe.
+      return true;
+  }
+  return true;
+}
+
+void RemoteUeSul::record_failure_locked() {
+  ++consecutive_failures_;
+  if (breaker_ == BreakerState::kHalfOpen ||
+      (breaker_ == BreakerState::kClosed &&
+       consecutive_failures_ >= options_.breaker_failure_threshold)) {
+    breaker_ = BreakerState::kOpen;
+    breaker_opened_at_ = Clock::now();
+    ++stats_.breaker_opens;
+  }
+}
+
+void RemoteUeSul::record_success_locked() {
+  consecutive_failures_ = 0;
+  breaker_ = BreakerState::kClosed;
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+void RemoteUeSul::drop_connection_locked() {
+  conn_.close();
+  reader_.reset();
+  server_synced_ = false;
+}
+
+bool RemoteUeSul::connect_locked(double budget_seconds) {
+  auto conn = TcpConn::connect(options_.host, options_.port, budget_seconds);
+  if (!conn) {
+    ++stats_.connect_failures;
+    return false;
+  }
+  conn_ = std::move(*conn);
+  reader_.reset();
+  ++epoch_;  // stale answers from the dead link can never match again
+  seq_ = 0;
+  server_synced_ = false;
+  ++stats_.connects;
+  if (stats_.connects > 1) ++stats_.reconnects;
+
+  auto ack = rpc_locked(FrameType::kHello, "prochecker-learner");
+  if (!ack || ack->type != FrameType::kHelloAck) {
+    drop_connection_locked();
+    return false;
+  }
+  server_profile_ = ack->payload;
+  return true;
+}
+
+std::optional<Frame> RemoteUeSul::rpc_locked(FrameType type, const std::string& payload) {
+  if (!conn_.valid()) return std::nullopt;
+  Frame req;
+  req.type = type;
+  req.epoch = epoch_;
+  req.seq = ++seq_;
+  req.payload = payload;
+  if (!conn_.send_all(encode_frame(req), options_.call_deadline_seconds)) {
+    drop_connection_locked();
+    return std::nullopt;
+  }
+
+  const auto started = Clock::now();
+  Bytes chunk;
+  while (seconds_since(started) < options_.call_deadline_seconds) {
+    Decoded d = reader_.next();
+    if (d.status == DecodeStatus::kBadFrame) {
+      // Corruption is *detected*, never consumed: the CRC turned it into a
+      // framing error, and the only safe move is a fresh connection.
+      ++stats_.framing_errors;
+      drop_connection_locked();
+      return std::nullopt;
+    }
+    if (d.status == DecodeStatus::kFrame) {
+      if (d.frame.epoch != epoch_ || d.frame.seq != req.seq) {
+        ++stats_.stale_frames;  // leftover answer from an earlier life
+        continue;
+      }
+      if (d.frame.type == FrameType::kError) {
+        drop_connection_locked();
+        return std::nullopt;
+      }
+      return d.frame;
+    }
+    chunk.clear();
+    double remaining = options_.call_deadline_seconds - seconds_since(started);
+    auto status = conn_.recv_some(chunk, 4096, std::max(remaining, 0.001));
+    if (status == TcpConn::RecvStatus::kData) {
+      reader_.feed(chunk);
+      continue;
+    }
+    if (status == TcpConn::RecvStatus::kTimeout) break;
+    drop_connection_locked();  // EOF or socket error
+    return std::nullopt;
+  }
+  ++stats_.rpc_timeouts;
+  drop_connection_locked();  // the stream may deliver the answer later; too late
+  return std::nullopt;
+}
+
+std::optional<std::string> RemoteUeSul::live_step_locked(double backoff_scale) {
+  if (!breaker_allows_locked()) return std::nullopt;
+
+  if (!conn_.valid()) {
+    // Jittered exponential backoff before redialing (scale grows per attempt).
+    double backoff = options_.backoff_base_seconds * backoff_scale;
+    backoff = std::min(backoff, options_.backoff_max_seconds);
+    double jittered = backoff * (0.5 + 0.5 * static_cast<double>(jitter_.next_below(1000)) / 1000.0);
+    sleep_seconds(jittered);
+    if (!connect_locked(options_.connect_timeout_seconds)) {
+      record_failure_locked();
+      return std::nullopt;
+    }
+  }
+
+  if (!server_synced_) {
+    // Resync: reset the server SUL, then replay everything but the current
+    // input. The server is deterministic, so this reconstructs its state
+    // exactly — the reason reconnect-heavy runs stay byte-identical. Replay
+    // answers are real observations and feed the vote cache too.
+    auto ack = rpc_locked(FrameType::kReset, "");
+    if (!ack || ack->type != FrameType::kResetAck) {
+      record_failure_locked();
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i + 1 < word_.size(); ++i) {
+      auto step_ack = rpc_locked(FrameType::kStep, word_[i]);
+      if (!step_ack || step_ack->type != FrameType::kStepAck) {
+        record_failure_locked();
+        return std::nullopt;
+      }
+      std::vector<std::string> prefix(word_.begin(),
+                                      word_.begin() + static_cast<std::ptrdiff_t>(i + 1));
+      VoteBox& box = vote_cache_[prefix];
+      if (!box.votes.empty() && box.votes.count(step_ack->payload) == 0 && !box.disagreed) {
+        box.disagreed = true;
+        ++stats_.nondeterministic_queries;
+      }
+      ++box.votes[step_ack->payload];
+    }
+    server_synced_ = true;
+  }
+
+  auto ack = rpc_locked(FrameType::kStep, word_.back());
+  if (!ack || ack->type != FrameType::kStepAck) {
+    record_failure_locked();
+    return std::nullopt;
+  }
+  record_success_locked();
+  return ack->payload;
+}
+
+// ---------------------------------------------------------------------------
+// Majority-vote cache
+// ---------------------------------------------------------------------------
+
+std::string RemoteUeSul::vote_and_answer_locked(const std::string& observed) {
+  VoteBox& box = vote_cache_[word_];
+  if (!box.votes.empty() && box.votes.count(observed) == 0 && !box.disagreed) {
+    box.disagreed = true;
+    ++stats_.nondeterministic_queries;
+  }
+  ++box.votes[observed];
+  // Majority answer; ties break toward the lexicographically smallest symbol
+  // so the result is deterministic run-to-run.
+  const std::string* best = nullptr;
+  int best_count = -1;
+  for (const auto& [symbol, count] : box.votes) {
+    if (count > best_count) {
+      best = &symbol;
+      best_count = count;
+    }
+  }
+  return best ? *best : observed;
+}
+
+std::optional<std::string> RemoteUeSul::cached_answer_locked() const {
+  auto it = vote_cache_.find(word_);
+  if (it == vote_cache_.end() || it->second.votes.empty()) return std::nullopt;
+  const std::string* best = nullptr;
+  int best_count = -1;
+  for (const auto& [symbol, count] : it->second.votes) {
+    if (count > best_count) {
+      best = &symbol;
+      best_count = count;
+    }
+  }
+  return *best;
+}
+
+// ---------------------------------------------------------------------------
+// The Sul interface
+// ---------------------------------------------------------------------------
+
+std::string RemoteUeSul::step(const std::string& input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++steps_;
+  word_.push_back(input);
+
+  double backoff_scale = 1.0;
+  for (int attempt = 0; attempt < options_.attempts_per_query; ++attempt) {
+    auto out = live_step_locked(backoff_scale);
+    if (out) return vote_and_answer_locked(*out);
+    backoff_scale *= 2.0;
+    if (breaker_ == BreakerState::kOpen) break;  // stop hammering a dead server
+  }
+
+  // The transport is beyond help for now. A replayed query (reconnect storm)
+  // can still be answered from the vote cache; a novel one degrades to the
+  // structured unavailable symbol the learner converts into "inconclusive".
+  if (auto cached = cached_answer_locked()) {
+    ++stats_.cache_fallbacks;
+    return *cached;
+  }
+  ++stats_.unavailable_answers;
+  return learner::kSulUnavailable;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat
+// ---------------------------------------------------------------------------
+
+void RemoteUeSul::heartbeat_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(lock, std::chrono::duration<double>(options_.heartbeat_seconds),
+                      [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!conn_.valid()) continue;  // nothing to keep alive
+    ++stats_.heartbeats;
+    auto pong = rpc_locked(FrameType::kPing, "");
+    if (!pong || pong->type != FrameType::kPong) {
+      // rpc_locked already dropped the connection; the next query redials.
+      ++stats_.heartbeat_failures;
+    }
+  }
+}
+
+}  // namespace procheck::net

@@ -1,0 +1,169 @@
+// Fault-tolerant remote SUL client (DESIGN.md §12).
+//
+// RemoteUeSul implements the learner::Sul interface over the framed wire
+// protocol, absorbing every transport fault the chaos proxy (or a real
+// network) can throw at it:
+//
+//   * per-call deadlines — no call ever blocks past its budget;
+//   * reconnect with jittered exponential backoff, bumping the epoch so a
+//     stale answer from a dead link is discarded, never consumed;
+//   * state resync after reconnect: reset() is lazy (no I/O), and the live
+//     query path replays reset + the current word prefix on a fresh link,
+//     reconstructing the deterministic server state exactly — which is why
+//     learning over a lossy-but-not-lying channel stays byte-identical to an
+//     in-process run;
+//   * a circuit breaker (closed → open → half-open probe) that stops
+//     hammering a dead server and degrades to the structured
+//     learner::kSulUnavailable output symbol — learners converge to an
+//     explicit inconclusive verdict instead of hanging or throwing;
+//   * a majority-vote answer cache keyed by the word prefix: repeated
+//     queries vote, disagreement flags the SUT as nondeterministic in the
+//     stats, and replays during reconnect storms can be answered from cache;
+//   * an optional heartbeat thread that pings the idle link so a silently
+//     dead connection is detected before the next query stalls on it.
+//
+// Thread-safety: all client state lives under one mutex shared by the query
+// path and the heartbeat thread; the TSan suite pins this.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "learner/sul.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace procheck::net {
+
+struct RemoteSulOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Wall-clock budget for one frame round-trip (send + matching ack).
+  double call_deadline_seconds = 1.0;
+  /// Budget for one TCP connect attempt.
+  double connect_timeout_seconds = 0.5;
+
+  /// Reconnect backoff: base * 2^attempt, jittered, capped at max.
+  double backoff_base_seconds = 0.01;
+  double backoff_max_seconds = 0.25;
+  /// Transport attempts per step() before degrading to kSulUnavailable.
+  int attempts_per_query = 3;
+
+  /// Circuit breaker: consecutive transport failures before opening, and how
+  /// long the open circuit rejects attempts before a half-open probe.
+  int breaker_failure_threshold = 5;
+  double breaker_open_seconds = 0.2;
+
+  /// Heartbeat period for the keepalive thread; 0 disables it.
+  double heartbeat_seconds = 0.0;
+
+  /// Jitter seed (deterministic backoff for reproducible tests).
+  std::uint64_t seed = 0x5EEDF00D;
+};
+
+struct RemoteSulStats {
+  long connects = 0;            // successful connections (incl. the first)
+  long reconnects = 0;          // connections after the first
+  long connect_failures = 0;
+  long rpc_timeouts = 0;
+  long framing_errors = 0;      // corrupted stream detected by CRC/length
+  long stale_frames = 0;        // answers from a previous epoch, discarded
+  long breaker_opens = 0;
+  long breaker_probes = 0;      // half-open trial queries
+  long unavailable_answers = 0; // steps degraded to kSulUnavailable
+  long cache_fallbacks = 0;     // answered from the vote cache during outage
+  long nondeterministic_queries = 0;  // votes disagreed for a word prefix
+  long heartbeats = 0;
+  long heartbeat_failures = 0;
+};
+
+/// Circuit-breaker state (exposed for tests and status lines).
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+std::string_view to_string(BreakerState state);
+
+class RemoteUeSul final : public learner::Sul {
+ public:
+  explicit RemoteUeSul(RemoteSulOptions options);
+  ~RemoteUeSul() override;
+
+  RemoteUeSul(const RemoteUeSul&) = delete;
+  RemoteUeSul& operator=(const RemoteUeSul&) = delete;
+
+  /// Lazy: clears the logical word and marks the server out-of-sync; the
+  /// actual reset frame rides with the next step (no I/O here, so a dead
+  /// server cannot stall reset storms).
+  void reset() override;
+
+  /// One abstract input. Never throws, never blocks past the attempt budget;
+  /// degrades to learner::kSulUnavailable when the transport is beyond help.
+  std::string step(const std::string& input) override;
+
+  long resets() const override;
+  long steps() const override;
+
+  RemoteSulStats stats() const;
+  BreakerState breaker() const;
+
+  /// Server profile name from the hello handshake ("" before first contact).
+  std::string server_profile() const;
+
+ private:
+  struct VoteBox {
+    std::map<std::string, int> votes;
+    bool disagreed = false;
+  };
+
+  // All private helpers assume mu_ is held.
+  bool breaker_allows_locked();
+  void record_failure_locked();
+  void record_success_locked();
+  bool connect_locked(double budget_seconds);
+  void drop_connection_locked();
+  std::optional<Frame> rpc_locked(FrameType type, const std::string& payload);
+  std::optional<std::string> live_step_locked(double backoff_scale);
+  std::string vote_and_answer_locked(const std::string& observed);
+  std::optional<std::string> cached_answer_locked() const;
+
+  void heartbeat_loop();
+
+  RemoteSulOptions options_;
+
+  mutable std::mutex mu_;
+  TcpConn conn_;
+  FrameReader reader_;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t seq_ = 0;
+  bool server_synced_ = false;  // server holds reset+word_ state for epoch_
+  std::vector<std::string> word_;  // inputs since the last reset()
+  std::string server_profile_;
+
+  BreakerState breaker_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+
+  std::map<std::vector<std::string>, VoteBox> vote_cache_;
+  Rng jitter_;
+
+  long resets_ = 0;
+  long steps_ = 0;
+  RemoteSulStats stats_;
+
+  // Heartbeat machinery: its own mutex/cv so stop() can interrupt the wait
+  // without contending with an in-flight query.
+  std::thread heartbeat_thread_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace procheck::net

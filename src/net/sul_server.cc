@@ -1,0 +1,136 @@
+#include "net/sul_server.h"
+
+namespace procheck::net {
+
+SulServer::SulServer(ue::StackProfile profile, SulServerOptions options)
+    : profile_(std::move(profile)), options_(options), sul_(profile_) {}
+
+SulServer::~SulServer() { stop(); }
+
+bool SulServer::start() {
+  auto listener = TcpListener::listen(options_.port);
+  if (!listener) return false;
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void SulServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void SulServer::serve() {
+  if (!listener_.valid()) {
+    auto listener = TcpListener::listen(options_.port);
+    if (!listener) return;
+    listener_ = std::move(*listener);
+    port_ = listener_.port();
+  }
+  running_.store(true, std::memory_order_release);
+  serve_loop();
+  running_.store(false, std::memory_order_release);
+}
+
+SulServerStats SulServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void SulServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto conn = listener_.accept(options_.poll_seconds);
+    if (!conn) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    serve_connection(std::move(*conn));
+  }
+}
+
+void SulServer::serve_connection(TcpConn conn) {
+  FrameReader reader;
+  Bytes chunk;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Drain every already-buffered frame before reading more bytes.
+    Decoded d = reader.next();
+    if (d.status == DecodeStatus::kBadFrame) {
+      // Resync is impossible once framing breaks (the length prefix itself
+      // is untrusted); drop the link and let the client replay.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.framing_errors;
+      return;
+    }
+    if (d.status == DecodeStatus::kNeedMore) {
+      chunk.clear();
+      auto status = conn.recv_some(chunk, 4096, options_.poll_seconds);
+      if (status == TcpConn::RecvStatus::kTimeout) continue;
+      if (status != TcpConn::RecvStatus::kData) return;  // EOF or error
+      reader.feed(chunk);
+      continue;
+    }
+
+    const Frame& req = d.frame;
+    Frame ack;
+    ack.epoch = req.epoch;
+    ack.seq = req.seq;
+    bool is_app_request = false;
+    switch (req.type) {
+      case FrameType::kHello:
+        ack.type = FrameType::kHelloAck;
+        ack.payload = profile_.name;
+        break;
+      case FrameType::kReset:
+        sul_.reset();
+        ack.type = FrameType::kResetAck;
+        is_app_request = true;
+        break;
+      case FrameType::kStep:
+        ack.type = FrameType::kStepAck;
+        ack.payload = sul_.step(req.payload);
+        is_app_request = true;
+        break;
+      case FrameType::kPing:
+        ack.type = FrameType::kPong;
+        break;
+      case FrameType::kBye:
+        return;  // orderly end; no ack expected
+      default: {
+        // A client-side frame type the server never expects (acks, pongs,
+        // errors): answer with a structured refusal and drop the link.
+        ack.type = FrameType::kError;
+        ack.payload = "unexpected frame type: " + std::string(to_string(req.type));
+        conn.send_all(encode_frame(ack), options_.poll_seconds);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        return;
+      }
+    }
+
+    bool kill = false;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (req.type == FrameType::kPing) ++stats_.pings;
+      if (is_app_request) {
+        ++stats_.requests;
+        if (req.type == FrameType::kReset) ++stats_.resets;
+        if (req.type == FrameType::kStep) ++stats_.steps;
+        if (options_.kill_after_requests >= 0 &&
+            stats_.requests == options_.kill_after_requests) {
+          kill = true;
+          ++stats_.kills;
+        }
+      }
+    }
+    if (kill && options_.kill_before_reply) return;  // crash before the ack
+    if (!conn.send_all(encode_frame(ack), options_.poll_seconds)) return;
+    if (kill) return;  // crash after the ack
+  }
+}
+
+}  // namespace procheck::net

@@ -1,0 +1,100 @@
+// Remote-SUL server: exposes an in-process learner::UeSul over the framed
+// wire protocol (DESIGN.md §12) so a learner on the other side of a socket —
+// possibly a chaotic one — can drive reset/step queries.
+//
+// Session model: one client at a time (active learning is sequential by
+// nature). The server answers kHello/kReset/kStep/kPing, echoing the
+// client's epoch/seq so the client can discard stale answers after a
+// reconnect. Any framing error, unexpected frame type, or orderly kBye drops
+// the connection and returns to accept(); the SUL itself survives across
+// connections — the client resynchronizes by replaying reset + its word
+// prefix, which reconstructs the exact server state (the SUL is
+// deterministic).
+//
+// Test hook: `kill_after_requests` drops the connection right after the Nth
+// application request (reset/step) is processed — `kill_before_reply`
+// additionally suppresses the ack, modeling a crash mid-response. The
+// kill-at-every-message sweep test uses this to pin byte-identical learning
+// results across every possible interruption point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "learner/sul.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "ue/profile.h"
+
+namespace procheck::net {
+
+struct SulServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral; see SulServer::port()
+  /// Read budget while a client is connected; bounds how long stop() waits.
+  double poll_seconds = 0.05;
+  /// Drop the connection after this many application requests (reset/step)
+  /// across the server's lifetime; < 0 disables the hook.
+  long kill_after_requests = -1;
+  /// With the kill hook: crash *before* sending the ack (the request took
+  /// effect on the SUL but the client never hears back).
+  bool kill_before_reply = false;
+};
+
+struct SulServerStats {
+  long connections = 0;
+  long requests = 0;        // reset + step frames processed
+  long resets = 0;
+  long steps = 0;
+  long pings = 0;
+  long framing_errors = 0;  // connections dropped for mis-framed input
+  long protocol_errors = 0; // well-framed but unexpected frame types
+  long kills = 0;           // connections dropped by the kill hook
+};
+
+/// Serves one UeSul over TCP on 127.0.0.1. start() spawns the accept/serve
+/// thread; stop() (or the destructor) shuts it down promptly.
+class SulServer {
+ public:
+  SulServer(ue::StackProfile profile, SulServerOptions options = {});
+  ~SulServer();
+
+  SulServer(const SulServer&) = delete;
+  SulServer& operator=(const SulServer&) = delete;
+
+  /// Binds the listener and spawns the server thread. False if the port
+  /// cannot be bound.
+  bool start();
+  void stop();
+
+  /// Serves on the calling thread until stop() (CLI `serve-sul` mode).
+  void serve();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the counters (safe to call while serving).
+  SulServerStats stats() const;
+
+ private:
+  void serve_loop();
+  /// Handles one connection until it dies; returns when the client is gone.
+  void serve_connection(TcpConn conn);
+
+  ue::StackProfile profile_;
+  SulServerOptions options_;
+  learner::UeSul sul_;
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex stats_mu_;
+  SulServerStats stats_;
+};
+
+}  // namespace procheck::net

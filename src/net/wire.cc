@@ -1,0 +1,162 @@
+#include "net/wire.h"
+
+#include "common/journal.h"  // crc32
+
+namespace procheck::net {
+
+namespace {
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+Decoded bad(std::string reason) {
+  Decoded d;
+  d.status = DecodeStatus::kBadFrame;
+  d.error = std::move(reason);
+  return d;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloAck:
+      return "hello_ack";
+    case FrameType::kReset:
+      return "reset";
+    case FrameType::kResetAck:
+      return "reset_ack";
+    case FrameType::kStep:
+      return "step";
+    case FrameType::kStepAck:
+      return "step_ack";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kBye:
+      return "bye";
+    case FrameType::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool known_frame_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+Bytes encode_frame(const Frame& frame) {
+  const std::size_t payload = frame.payload.size() <= kMaxFramePayload
+                                  ? frame.payload.size()
+                                  : kMaxFramePayload;  // defensive clamp
+  Bytes out;
+  out.reserve(4 + kFrameOverhead + payload);
+  put_u32(out, static_cast<std::uint32_t>(kFrameOverhead + payload));
+  put_u16(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  put_u32(out, frame.epoch);
+  put_u32(out, frame.seq);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.begin() +
+                            static_cast<std::ptrdiff_t>(payload));
+  // CRC over magic..payload (body minus the CRC itself).
+  std::string_view body(reinterpret_cast<const char*>(out.data() + 4), out.size() - 4);
+  put_u32(out, crc32(body));
+  return out;
+}
+
+Decoded decode_frame(const Bytes& wire, std::size_t* consumed) {
+  if (consumed) *consumed = 0;
+  if (wire.size() < 4) {
+    Decoded d;
+    d.status = DecodeStatus::kNeedMore;
+    return d;
+  }
+  const std::uint32_t length = get_u32(wire.data());
+  if (length < kFrameOverhead || length > kFrameOverhead + kMaxFramePayload) {
+    return bad("frame length out of range");
+  }
+  if (wire.size() < 4 + static_cast<std::size_t>(length)) {
+    Decoded d;
+    d.status = DecodeStatus::kNeedMore;
+    return d;
+  }
+  const std::uint8_t* body = wire.data() + 4;
+  if (get_u16(body) != kWireMagic) return bad("bad magic");
+  if (body[2] != kWireVersion) return bad("unsupported protocol version");
+  if (!known_frame_type(body[3])) return bad("unknown frame type");
+
+  const std::size_t payload_len = length - kFrameOverhead;
+  const std::uint32_t tagged = get_u32(body + 12 + payload_len);
+  std::string_view covered(reinterpret_cast<const char*>(body), length - 4);
+  if (crc32(covered) != tagged) return bad("crc mismatch");
+
+  Decoded d;
+  d.status = DecodeStatus::kFrame;
+  d.frame.type = static_cast<FrameType>(body[3]);
+  d.frame.epoch = get_u32(body + 4);
+  d.frame.seq = get_u32(body + 8);
+  d.frame.payload.assign(reinterpret_cast<const char*>(body + 12), payload_len);
+  if (consumed) *consumed = 4 + length;
+  return d;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return;  // the stream is already dead; don't accumulate
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Decoded FrameReader::next() {
+  if (poisoned_) {
+    Decoded d;
+    d.status = DecodeStatus::kBadFrame;
+    d.error = poison_reason_;
+    return d;
+  }
+  // Compact lazily so long sessions don't grow the buffer unboundedly.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  Bytes window(buf_.begin() + static_cast<std::ptrdiff_t>(pos_), buf_.end());
+  std::size_t consumed = 0;
+  Decoded d = decode_frame(window, &consumed);
+  if (d.status == DecodeStatus::kFrame) {
+    pos_ += consumed;
+  } else if (d.status == DecodeStatus::kBadFrame) {
+    poisoned_ = true;
+    poison_reason_ = d.error;
+  }
+  return d;
+}
+
+void FrameReader::reset() {
+  buf_.clear();
+  pos_ = 0;
+  poisoned_ = false;
+  poison_reason_.clear();
+}
+
+}  // namespace procheck::net

@@ -1,0 +1,110 @@
+// Remote-SUL wire framing (DESIGN.md §12).
+//
+// A frame is a length-prefixed, CRC-tagged, versioned record:
+//
+//   u32  length L           (bytes that follow the prefix; bounds-checked)
+//   u16  magic  0x50C5
+//   u8   version (kWireVersion)
+//   u8   type    (FrameType)
+//   u32  epoch   (connection generation — bumped on every reconnect so a
+//                 stale answer from a previous link can never interleave)
+//   u32  seq     (per-request counter within the epoch; acks echo it)
+//   ...  payload (L - 16 bytes: the input/output symbol or error text)
+//   u32  crc32   (IEEE, over magic..payload)
+//
+// All integers big-endian. The decoder is *total*: any byte stream either
+// yields frames, asks for more bytes, or reports a framing error with a
+// reason — it never crashes and never silently yields corrupted data (the
+// CRC turns corruption into a detected framing error, the contract the
+// chaos-proxy corruption regime pins). Once a stream mis-frames, resync is
+// impossible (the length prefix itself is untrusted), so a framing error
+// poisons the FrameReader until reset() — transports must drop the
+// connection, which is exactly what the client and server do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace procheck::net {
+
+inline constexpr std::uint16_t kWireMagic = 0x50C5;
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Fixed body bytes besides the payload (magic..seq + trailing CRC).
+inline constexpr std::size_t kFrameOverhead = 16;
+/// Payload bound: symbols and error strings are short; anything bigger is a
+/// corrupted length prefix and must not drive allocation.
+inline constexpr std::size_t kMaxFramePayload = 4096;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,    // client → server: open a session (payload: client note)
+  kHelloAck,     // server → client: session accepted (payload: profile name)
+  kReset,        // client → server: reset the SUL to its initial state
+  kResetAck,     // server → client
+  kStep,         // client → server: one input symbol (payload)
+  kStepAck,      // server → client: the output symbol (payload)
+  kPing,         // keepalive probe
+  kPong,         //
+  kBye,          // orderly session end
+  kError,        // server → client: structured refusal (payload: reason)
+};
+
+std::string_view to_string(FrameType type);
+bool known_frame_type(std::uint8_t raw);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint32_t epoch = 0;
+  std::uint32_t seq = 0;
+  std::string payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Serializes one frame (length prefix included).
+Bytes encode_frame(const Frame& frame);
+
+enum class DecodeStatus : std::uint8_t {
+  kFrame,     // one frame decoded
+  kNeedMore,  // prefix of a valid frame; feed more bytes
+  kBadFrame,  // framing error (bad magic/version/length/CRC/type)
+};
+
+struct Decoded {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  Frame frame;        // valid when status == kFrame
+  std::string error;  // valid when status == kBadFrame
+};
+
+/// One-shot decoder over the start of `wire`. `consumed` (optional) receives
+/// the bytes a kFrame result used. Total: never throws, never reads out of
+/// bounds.
+Decoded decode_frame(const Bytes& wire, std::size_t* consumed = nullptr);
+
+/// Incremental stream decoder: feed received chunks, pop frames. The first
+/// framing error poisons the reader (every subsequent next() repeats it)
+/// until reset() — callers drop the connection and start a fresh stream.
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed(const Bytes& data) { feed(data.data(), data.size()); }
+
+  Decoded next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  bool poisoned() const { return poisoned_; }
+
+  /// Forgets everything (new connection).
+  void reset();
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace procheck::net

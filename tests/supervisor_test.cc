@@ -5,6 +5,9 @@
 // uninterrupted report byte for byte, at any jobs level.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -395,6 +398,91 @@ TEST(Supervisor, HeaderTagMismatchDiscardsForeignJournal) {
   EXPECT_EQ(run.journal_records, sel.size());
 }
 
+// --- Journal lock and options-hash guards ------------------------------------
+
+TEST(JournalLockTest, SecondAcquireFailsWhileHeldAndSucceedsAfterRelease) {
+  const std::string path = tmp_path("journal_lock.jsonl");
+  JournalLock first;
+  ASSERT_TRUE(first.acquire(path)) << first.error();
+  EXPECT_TRUE(first.held());
+
+  JournalLock second;
+  EXPECT_FALSE(second.acquire(path));
+  EXPECT_TRUE(contains(second.error(), "locked by pid")) << second.error();
+
+  first.release();
+  EXPECT_FALSE(first.held());
+  EXPECT_TRUE(second.acquire(path)) << second.error();
+  second.release();
+}
+
+TEST(JournalLockTest, StaleLockFromDeadProcessIsStolen) {
+  const std::string path = tmp_path("journal_stale.jsonl");
+  // Manufacture a pid that is guaranteed dead: fork a child that exits
+  // immediately and reap it, then plant its pid in the lock file.
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  spill(path + ".lock", std::to_string(child) + "\n");
+
+  JournalLock lock;
+  EXPECT_TRUE(lock.acquire(path)) << lock.error();
+  lock.release();
+}
+
+TEST(Supervisor, ConcurrentJournalRunsFailFast) {
+  auto sel = select({"P04"});
+  const std::string path = tmp_path("journal_concurrent.jsonl");
+  std::remove(path.c_str());
+  // Stand in for the other live run: hold the lock with our own (live) pid.
+  JournalLock holder;
+  ASSERT_TRUE(holder.acquire(path)) << holder.error();
+
+  SupervisorOptions opts;
+  opts.journal_path = path;
+  opts.run_tag = "cls";
+  SupervisedRun run = run_sup(sel, opts, {});
+  EXPECT_TRUE(run.aborted);
+  EXPECT_TRUE(contains(run.abort_reason, "concurrent analyze run")) << run.abort_reason;
+  EXPECT_TRUE(run.outcomes.empty());  // refused runs verify nothing
+
+  holder.release();
+  SupervisedRun retry = run_sup(sel, opts, {});
+  EXPECT_FALSE(retry.aborted);
+  EXPECT_EQ(retry.journal_records, sel.size());
+}
+
+TEST(Supervisor, ResumeRefusedOnOptionsHashMismatch) {
+  auto sel = select({"P04"});
+  const std::string path = tmp_path("journal_optshash.jsonl");
+  std::remove(path.c_str());
+  SupervisorOptions first;
+  first.journal_path = path;
+  first.run_tag = "cls";
+  first.options_hash = "00000000deadbeef";
+  ASSERT_FALSE(run_sup(sel, first, {}).aborted);
+
+  SupervisorOptions changed = first;
+  changed.resume = true;
+  changed.options_hash = "00000000feedface";
+  SupervisedRun refused = run_sup(sel, changed, {});
+  EXPECT_TRUE(refused.aborted);
+  EXPECT_TRUE(contains(refused.abort_reason, "resume refused")) << refused.abort_reason;
+  // The diagnostic names both fingerprints so the operator can see *what*
+  // diverged rather than guessing.
+  EXPECT_TRUE(contains(refused.abort_reason, "00000000deadbeef")) << refused.abort_reason;
+  EXPECT_TRUE(contains(refused.abort_reason, "00000000feedface")) << refused.abort_reason;
+  EXPECT_EQ(refused.resumed, 0u);
+
+  SupervisorOptions matching = first;
+  matching.resume = true;
+  SupervisedRun adopted = run_sup(sel, matching, {});
+  EXPECT_FALSE(adopted.aborted);
+  EXPECT_EQ(adopted.resumed, sel.size());
+}
+
 // --- Kill–resume determinism -------------------------------------------------
 //
 // The core durability property: kill the analysis at ANY byte of the
@@ -494,6 +582,60 @@ TEST(AnalyzeResume, InjectedCrashDegradesOnePropertyOthersVerify) {
   EXPECT_EQ(by_id["P04"]->status, PropertyResult::Status::kNotApplicable);
   // The verdict block names the contained failure.
   EXPECT_TRUE(contains(render_verdicts(rep), "contained failures: S05:exception(2)"));
+}
+
+TEST(AnalyzeResume, RefusedWhenVerdictShapingOptionsChange) {
+  AnalysisOptions options;
+  options.only_properties = {"P04"};
+  options.jobs = 1;
+  const std::string path = tmp_path("analyze_optshash.jsonl");
+  std::remove(path.c_str());
+  options.journal_path = path;
+  ImplementationReport ref = ProChecker::analyze(ue::StackProfile::cls(), options);
+  ASSERT_FALSE(ref.aborted);
+
+  // A changed MC budget can change journaled verdicts: resuming must refuse
+  // rather than silently mix budgets.
+  AnalysisOptions changed = options;
+  changed.resume = true;
+  changed.max_states = 1234;
+  ImplementationReport refused = ProChecker::analyze(ue::StackProfile::cls(), changed);
+  EXPECT_TRUE(refused.aborted);
+  EXPECT_TRUE(contains(refused.abort_reason, "resume refused")) << refused.abort_reason;
+  EXPECT_TRUE(refused.results.empty());
+
+  // jobs is deliberately outside the fingerprint (reports are byte-identical
+  // at any parallelism): a different fan-out still resumes.
+  AnalysisOptions same = options;
+  same.resume = true;
+  same.jobs = 4;
+  ImplementationReport resumed = ProChecker::analyze(ue::StackProfile::cls(), same);
+  EXPECT_FALSE(resumed.aborted);
+  EXPECT_EQ(resumed.resumed_count, ref.results.size());
+}
+
+TEST(AnalyzeResume, OptionsHashCoversVerdictKnobsOnly) {
+  AnalysisOptions a;
+  a.only_properties = {"S01", "P04"};
+  a.jobs = 1;
+  AnalysisOptions b = a;
+  b.jobs = 8;
+  b.journal_path = "elsewhere.jsonl";  // plumbing: excluded
+  b.resume = true;
+  EXPECT_EQ(analysis_options_hash(a, ue::StackProfile::cls()),
+            analysis_options_hash(b, ue::StackProfile::cls()));
+
+  AnalysisOptions c = a;
+  c.max_states /= 2;
+  EXPECT_NE(analysis_options_hash(c, ue::StackProfile::cls()),
+            analysis_options_hash(a, ue::StackProfile::cls()));
+
+  // The profile's freshness-limit mitigation shapes verdicts (the ablation
+  // knob) → covered by the fingerprint.
+  ue::StackProfile mitigated = ue::StackProfile::cls();
+  mitigated.sqn_freshness_limit = 64;
+  EXPECT_NE(analysis_options_hash(a, mitigated),
+            analysis_options_hash(a, ue::StackProfile::cls()));
 }
 
 }  // namespace
