@@ -14,11 +14,17 @@
 // server/proxy lifecycle; wall-clock timing over thousands of queries is
 // stable enough for the comparison this table makes.
 //
-//   ./bench_remote_sul [--words N]
+// --clients runs the concurrent-learner mode instead of the sweep over 1/2/4/8
+// sessions against one multi-session server; each client pushes the full
+// workload through its own session and the table reports aggregate plus
+// per-session throughput. --write-json records everything machine-readably.
+//
+//   ./bench_remote_sul [--words N] [--clients N] [--write-json [path]]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -77,12 +83,115 @@ Row run_row(const char* name, learner::Sul& sul, const Workload& w) {
   return row;
 }
 
+struct ClientsSample {
+  int clients = 0;
+  double wall_seconds = 0;       // slowest session (the user-visible wall)
+  double aggregate_qps = 0;      // clients * words / wall
+  double per_session_qps = 0;    // mean of each session's own throughput
+  long server_sessions = 0;
+};
+
+// N learners, each with its own session on one multi-session server, each
+// pushing the full workload. Aggregate throughput tells you what the server
+// sustains; per-session throughput tells you what each learner still sees.
+ClientsSample run_clients(int clients, const Workload& w,
+                          const ue::StackProfile& profile) {
+  net::SulServerOptions sopts;
+  sopts.max_sessions = clients;
+  net::SulServer server(profile, sopts);
+  ClientsSample sample;
+  sample.clients = clients;
+  if (!server.start()) {
+    std::fprintf(stderr, "error: cannot start loopback SUL server\n");
+    return sample;
+  }
+  std::vector<double> session_seconds(static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      net::RemoteSulOptions opts;
+      opts.port = server.port();
+      net::RemoteUeSul sul(opts);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const auto& word : w.words) sul.run(word);
+      session_seconds[static_cast<std::size_t>(i)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  sample.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  server.stop();
+  sample.server_sessions = server.stats().sessions_admitted;
+  const double queries = static_cast<double>(w.words.size());
+  sample.aggregate_qps =
+      static_cast<double>(clients) * queries / sample.wall_seconds;
+  for (double s : session_seconds) {
+    if (s > 0) sample.per_session_qps += queries / s;
+  }
+  sample.per_session_qps /= static_cast<double>(clients);
+  return sample;
+}
+
+void write_json(const std::string& path, const Workload& w,
+                const std::vector<Row>& rows,
+                const std::vector<ClientsSample>& sweep) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"remote_sul\",\n");
+  std::fprintf(f, "  \"words\": %zu,\n  \"steps\": %ld,\n", w.words.size(),
+               w.total_steps);
+  std::fprintf(f, "  \"placements\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.3f,"
+                 " \"queries_per_sec\": %.0f, \"us_per_step\": %.2f}%s\n",
+                 r.name, r.seconds, r.queries_per_sec, r.us_per_step,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"clients_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ClientsSample& s = sweep[i];
+    std::fprintf(f,
+                 "    {\"clients\": %d, \"wall_seconds\": %.3f,"
+                 " \"aggregate_qps\": %.0f, \"per_session_qps\": %.0f,"
+                 " \"server_sessions\": %ld}%s\n",
+                 s.clients, s.wall_seconds, s.aggregate_qps, s.per_session_qps,
+                 s.server_sessions, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int count = 2000;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--words") == 0) count = std::atoi(argv[i + 1]);
+  int clients_override = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--write-json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                      ? argv[++i]
+                      : "BENCH_remote_sul.json";
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_remote_sul [--words N] [--clients N]"
+                   " [--write-json [path]]\n");
+      return 2;
+    }
   }
   const Workload w = make_workload(count);
   const ue::StackProfile profile = ue::StackProfile::cls();
@@ -144,5 +253,28 @@ int main(int argc, char** argv) {
       "gap between rows 2 and 3 is the price of tolerated faults (retries,\n"
       "reconnects, replay). Correctness is identical in all three placements —\n"
       "the net suite pins remote learning byte-identical to in-process.\n");
+
+  // Concurrent-learner mode: N sessions on one server, each running the full
+  // workload. On a single-core host aggregate throughput is flat and
+  // per-session throughput divides by N; the sweep exists so multi-core hosts
+  // can see (and regress against) the session-per-thread scaling.
+  std::vector<ClientsSample> sweep;
+  std::vector<int> client_counts;
+  if (clients_override > 0) {
+    client_counts.push_back(clients_override);
+  } else {
+    client_counts = {1, 2, 4, 8};
+  }
+  std::printf("\nconcurrent learners (one session each, full workload each):\n");
+  std::printf("%8s %12s %14s %18s %10s\n", "clients", "wall s", "aggregate q/s",
+              "per-session q/s", "sessions");
+  for (int n : client_counts) {
+    sweep.push_back(run_clients(n, w, profile));
+    const ClientsSample& s = sweep.back();
+    std::printf("%8d %12.3f %14.0f %18.0f %10ld\n", s.clients, s.wall_seconds,
+                s.aggregate_qps, s.per_session_qps, s.server_sessions);
+  }
+
+  if (!json_path.empty()) write_json(json_path, w, rows, sweep);
   return 0;
 }

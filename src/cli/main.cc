@@ -17,10 +17,12 @@
 //   chaos --profile <cls|srsue|oai> [--intensity <p>]
 //       Re-runs the conformance suite under each fault-injection regime and
 //       reports degradation vs the fault-free baseline.
-//   serve-sul --profile <cls|srsue|oai> [--port <N>]
-//       Exposes the profile's UE stack as a remote SUL over the framed wire
-//       protocol (DESIGN.md §12) for `learn --remote` / `conformance
-//       --remote` on the other end.
+//   serve-sul --profile <cls|srsue|oai> [--port <N>] [--bind <addr>] [--psk <key>]
+//       Exposes the profile's UE stack as a multi-session remote SUL over
+//       the framed wire protocol (DESIGN.md §12–13) for `learn --remote` /
+//       `conformance --remote` on the other end. Each connection gets its
+//       own isolated SUL session; admission, quotas, PSK auth, and graceful
+//       drain (first ctrl-c) are configurable.
 //   learn --profile <cls|srsue|oai> [--remote <host:port>] [--seed <S>]
 //       Active L* learning of the UE Mealy machine — in-process by default,
 //       or against a serve-sul endpoint with --remote (fault-tolerant
@@ -67,9 +69,13 @@ int usage() {
                "          [--retries <N>] [--deadline-per-property <S>]"
                " [--mem-ceiling-mb <M>] [--journal <file>] [--resume <file>]\n"
                "  chaos --profile <cls|srsue|oai> [--intensity <p>] [--jobs <N>]\n"
-               "  serve-sul --profile <cls|srsue|oai> [--port <N>]\n"
-               "  learn --profile <cls|srsue|oai> [--remote <host:port>] [--seed <S>]"
-               " [--dot]\n");
+               "  serve-sul --profile <cls|srsue|oai> [--port <N>] [--bind <addr>]"
+               " [--psk <key>] [--max-sessions <N>]\n"
+               "            [--quota-queries <N>] [--quota-bytes <N>] [--quota-seconds <S>]"
+               " [--idle-timeout <S>]\n"
+               "            [--drain-seconds <S>] [--stats]\n"
+               "  learn --profile <cls|srsue|oai> [--remote <host:port>] [--psk <key>]"
+               " [--seed <S>] [--dot]\n");
   return 2;
 }
 
@@ -113,7 +119,7 @@ struct Args {
       if (starts_with(a, "--")) {
         std::string key = a.substr(2);
         if (key == "dot" || key == "basic" || key == "traces" || key == "dot-traces" ||
-            key == "recovery") {
+            key == "recovery" || key == "stats") {
           args.options[key] = "1";
         } else if (i + 1 < argc) {
           args.options[key] = argv[++i];
@@ -197,18 +203,21 @@ int cmd_instrument(const Args& args) {
 // (scripted flows; expectations from the local reference stack). Exit 0 when
 // every scenario passes, 1 on behavioral divergence, 3 when the transport
 // degraded and verdicts are inconclusive.
-int cmd_remote_conformance(const ue::StackProfile& profile, const std::string& endpoint) {
+int cmd_remote_conformance(const ue::StackProfile& profile, const std::string& endpoint,
+                           const std::string& psk) {
   auto ep = parse_endpoint(endpoint);
   if (!ep) return bad_option("remote", endpoint);
   net::RemoteSulOptions ropts;
   ropts.host = ep->first;
   ropts.port = ep->second;
+  ropts.psk = psk;
   net::RemoteUeSul sul(ropts);
   net::RemoteConformanceReport report = net::run_remote_conformance(profile, sul);
   std::fputs(report.render().c_str(), stdout);
   if (!report.conclusive()) {
-    std::fprintf(stderr, "transport degraded (%ld unavailable answers): inconclusive\n",
-                 sul.stats().unavailable_answers);
+    const std::string why = sul.unavailable_reason();
+    std::fprintf(stderr, "transport degraded (%ld unavailable answers%s%s): inconclusive\n",
+                 sul.stats().unavailable_answers, why.empty() ? "" : "; ", why.c_str());
     return 3;
   }
   return report.failed() == 0 ? 0 : 1;
@@ -217,7 +226,9 @@ int cmd_remote_conformance(const ue::StackProfile& profile, const std::string& e
 int cmd_conformance(const Args& args) {
   auto profile = profile_by_name(args.get("profile"));
   if (!profile) return usage();
-  if (args.has("remote")) return cmd_remote_conformance(*profile, args.get("remote"));
+  if (args.has("remote")) {
+    return cmd_remote_conformance(*profile, args.get("remote"), args.get("psk"));
+  }
   instrument::TraceLogger trace;
   testing::ConformanceReport report = testing::run_conformance(*profile, trace);
   for (const testing::TestResult& r : report.results) {
@@ -392,22 +403,72 @@ int cmd_serve_sul(const Args& args) {
     if (!v || *v > 65535) return bad_option("port", args.get("port"));
     options.port = static_cast<std::uint16_t>(*v);
   }
+  if (args.has("bind")) options.bind_host = args.get("bind");
+  if (args.has("psk")) options.psk = args.get("psk");
+  if (args.has("max-sessions")) {
+    auto v = parse_u64(args.get("max-sessions"));
+    if (!v || *v == 0 || *v > 64) return bad_option("max-sessions", args.get("max-sessions"));
+    options.max_sessions = static_cast<int>(*v);
+  }
+  if (args.has("quota-queries")) {
+    auto v = parse_u64(args.get("quota-queries"));
+    if (!v) return bad_option("quota-queries", args.get("quota-queries"));
+    options.max_session_queries = static_cast<long>(*v);
+  }
+  if (args.has("quota-bytes")) {
+    auto v = parse_u64(args.get("quota-bytes"));
+    if (!v) return bad_option("quota-bytes", args.get("quota-bytes"));
+    options.max_session_bytes = static_cast<long>(*v);
+  }
+  if (args.has("quota-seconds")) {
+    auto v = parse_double(args.get("quota-seconds"));
+    if (!v || *v < 0) return bad_option("quota-seconds", args.get("quota-seconds"));
+    options.max_session_seconds = *v;
+  }
+  if (args.has("idle-timeout")) {
+    auto v = parse_double(args.get("idle-timeout"));
+    if (!v || *v < 0) return bad_option("idle-timeout", args.get("idle-timeout"));
+    options.idle_timeout_seconds = *v;
+  }
+  if (args.has("drain-seconds")) {
+    auto v = parse_double(args.get("drain-seconds"));
+    if (!v || *v < 0) return bad_option("drain-seconds", args.get("drain-seconds"));
+    options.drain_deadline_seconds = *v;
+  }
+
   net::SulServer server(*profile, options);
   if (!server.start()) {
-    std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", options.port);
+    const std::string why = server.start_error();
+    std::fprintf(stderr, "cannot serve on %s:%u%s%s\n", options.bind_host.c_str(),
+                 options.port, why.empty() ? "" : ": ", why.c_str());
     return 1;
   }
-  std::fprintf(stderr, "serving %s SUL on 127.0.0.1:%u (ctrl-c to stop)\n",
-               profile->name.c_str(), server.port());
-  std::signal(SIGINT, [](int) { g_interrupted = 1; });
-  std::signal(SIGTERM, [](int) { g_interrupted = 1; });
-  while (!g_interrupted) {
+  std::fprintf(stderr,
+               "serving %s SUL on %s:%u (%d sessions max%s; ctrl-c drains, twice stops)\n",
+               profile->name.c_str(), options.bind_host.c_str(), server.port(),
+               options.max_sessions, options.psk.empty() ? "" : ", PSK auth");
+  std::signal(SIGINT, [](int) { g_interrupted = g_interrupted + 1; });
+  std::signal(SIGTERM, [](int) { g_interrupted = 2; });
+
+  // First interrupt drains (no new sessions; in-flight words finish, each
+  // session gets a structured close); the second — or a drained-out server —
+  // stops hard.
+  bool draining = false;
+  while (g_interrupted < 2) {
+    if (g_interrupted == 1 && !draining) {
+      draining = true;
+      server.drain();
+      std::fprintf(stderr, "draining %d active sessions (ctrl-c again to force stop)\n",
+                   server.active_sessions());
+    }
+    if (draining && server.active_sessions() == 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   server.stop();
   net::SulServerStats stats = server.stats();
   std::fprintf(stderr, "served %ld connections, %ld resets, %ld steps\n", stats.connections,
                stats.resets, stats.steps);
+  if (args.has("stats")) std::fputs(server.render_stats().c_str(), stderr);
   return 0;
 }
 
@@ -428,6 +489,7 @@ int cmd_learn(const Args& args) {
     net::RemoteSulOptions ropts;
     ropts.host = ep->first;
     ropts.port = ep->second;
+    ropts.psk = args.get("psk");
     ropts.heartbeat_seconds = 0.5;
     net::RemoteUeSul sul(ropts);
     result = learner::learn_mealy(sul, options);
@@ -437,6 +499,12 @@ int cmd_learn(const Args& args) {
                  " %ld breaker opens, %ld nondeterministic queries\n",
                  stats.connects, stats.reconnects, stats.framing_errors, stats.rpc_timeouts,
                  stats.breaker_opens, stats.nondeterministic_queries);
+    // Structured server refusals (busy, draining, auth_failed, quota trips,
+    // upgrade_required) surface here so an inconclusive run names its cause.
+    const std::string reason = sul.last_close_reason();
+    if (!reason.empty()) {
+      std::fprintf(stderr, "server close: %s\n", reason.c_str());
+    }
   } else {
     learner::UeSul sul(*profile);
     result = learner::learn_mealy(sul, options);

@@ -234,6 +234,8 @@ LearnResult learn_mealy(Sul& sul, const LearnOptions& options) {
     result.inconclusive = true;
     result.converged = false;
     result.note = "sul_unavailable during membership query; learning aborted";
+    const std::string why = sul.unavailable_reason();
+    if (!why.empty()) result.note += " (" + why + ")";
   }
   result.sul_resets = sul.resets();
   result.sul_steps = sul.steps();

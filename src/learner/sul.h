@@ -57,6 +57,12 @@ class Sul {
   virtual long resets() const = 0;
   virtual long steps() const = 0;
 
+  /// Why the SUL last degraded to kSulUnavailable ("" when it never did, or
+  /// when the implementation cannot say). Transport-backed SULs surface the
+  /// server's structured close reason here (server_busy, auth_failed,
+  /// quota_exceeded, ...), so an inconclusive LearnResult names its cause.
+  virtual std::string unavailable_reason() const { return ""; }
+
   /// Runs a whole word from the initial state (reset + steps).
   std::vector<std::string> run(const std::vector<std::string>& word);
 };

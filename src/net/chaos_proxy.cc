@@ -1,6 +1,7 @@
 #include "net/chaos_proxy.h"
 
 #include <chrono>
+#include <memory>
 
 namespace procheck::net {
 
@@ -30,6 +31,12 @@ bool ChaosProxy::start() {
 void ChaosProxy::stop() {
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
+  // The accept thread is dead, so pumps_ is stable; the pumps themselves
+  // poll stop_ and exit within one poll interval.
+  for (std::thread& t : pumps_) {
+    if (t.joinable()) t.join();
+  }
+  pumps_.clear();
 }
 
 ChaosProxyStats ChaosProxy::stats() const {
@@ -62,7 +69,10 @@ void ChaosProxy::pump_loop() {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.connections;
     }
-    pump_connection(std::move(*client));
+    // Thread-per-connection so concurrent learner sessions never head-of-line
+    // block each other through the proxy.
+    auto shared = std::make_shared<TcpConn>(std::move(*client));
+    pumps_.emplace_back([this, shared] { pump_connection(std::move(*shared)); });
   }
 }
 

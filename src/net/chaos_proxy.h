@@ -22,9 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -69,8 +71,12 @@ struct ChaosProxyStats {
   long faults() const { return delayed + fragmented + reordered + corrupted + resets; }
 };
 
-/// One client at a time (the remote-SUL link is sequential). start() spawns
-/// the pump thread; stop() tears everything down.
+/// Thread-per-connection: every accepted client gets its own pump so N
+/// concurrent learner sessions can share one chaotic link to the
+/// multi-session server. Fault draws still come from the single seeded
+/// stream (under the stats mutex), so a run is reproducible given the same
+/// interleaving, and a single-client run is bit-for-bit the PR-4 behavior.
+/// start() spawns the accept thread; stop() tears everything down.
 class ChaosProxy {
  public:
   explicit ChaosProxy(ChaosProxyOptions options);
@@ -101,6 +107,9 @@ class ChaosProxy {
   TcpListener listener_;
   std::uint16_t port_ = 0;
   std::thread thread_;
+  /// One pump thread per accepted connection; only the accept thread writes
+  /// this, and stop() joins the accept thread before joining the pumps.
+  std::vector<std::thread> pumps_;
   std::atomic<bool> stop_{false};
 
   mutable std::mutex mu_;

@@ -86,6 +86,18 @@ std::string RemoteUeSul::server_profile() const {
   return server_profile_;
 }
 
+std::string RemoteUeSul::last_close_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_close_reason_;
+}
+
+std::string RemoteUeSul::unavailable_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!last_close_reason_.empty()) return "server said: " + last_close_reason_;
+  if (stats_.connect_failures > 0 && stats_.connects == 0) return "server unreachable";
+  return "";
+}
+
 // ---------------------------------------------------------------------------
 // Circuit breaker
 // ---------------------------------------------------------------------------
@@ -148,6 +160,14 @@ bool RemoteUeSul::connect_locked(double budget_seconds) {
   if (stats_.connects > 1) ++stats_.reconnects;
 
   auto ack = rpc_locked(FrameType::kHello, "prochecker-learner");
+  if (ack && ack->type == FrameType::kChallenge) {
+    // PSK handshake: prove key possession with a MAC over the server's fresh
+    // nonce and our epoch. An empty PSK still answers (with a wrong MAC) so
+    // the refusal comes back as a structured auth_failed close.
+    ++stats_.auth_challenges;
+    const std::string mac = auth_mac(options_.psk, ack->payload, epoch_);
+    ack = rpc_locked(FrameType::kAuthResponse, mac);
+  }
   if (!ack || ack->type != FrameType::kHelloAck) {
     drop_connection_locked();
     return false;
@@ -180,6 +200,20 @@ std::optional<Frame> RemoteUeSul::rpc_locked(FrameType type, const std::string& 
       return std::nullopt;
     }
     if (d.status == DecodeStatus::kFrame) {
+      // Server-initiated control frames carry the *server's* sequencing
+      // (admission rejects precede our hello; drain/quota closes fire at poll
+      // time), so they must be recognized before the epoch/seq match below
+      // would discard them as stale.
+      if (d.frame.type == FrameType::kServerBusy || d.frame.type == FrameType::kClose) {
+        if (d.frame.type == FrameType::kServerBusy) {
+          ++stats_.busy_rejects;
+        } else {
+          ++stats_.server_closes;
+        }
+        last_close_reason_ = d.frame.payload;
+        drop_connection_locked();
+        return std::nullopt;
+      }
       if (d.frame.epoch != epoch_ || d.frame.seq != req.seq) {
         ++stats_.stale_frames;  // leftover answer from an earlier life
         continue;

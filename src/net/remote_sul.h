@@ -48,6 +48,11 @@ struct RemoteSulOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
 
+  /// Shared key for the server's challenge/response handshake. "" works
+  /// against an open (loopback) server; against a PSK server it yields a
+  /// structured auth_failed close.
+  std::string psk;
+
   /// Wall-clock budget for one frame round-trip (send + matching ack).
   double call_deadline_seconds = 1.0;
   /// Budget for one TCP connect attempt.
@@ -85,6 +90,9 @@ struct RemoteSulStats {
   long nondeterministic_queries = 0;  // votes disagreed for a word prefix
   long heartbeats = 0;
   long heartbeat_failures = 0;
+  long auth_challenges = 0;     // kChallenge frames answered
+  long busy_rejects = 0;        // kServerBusy rejects (admission/drain)
+  long server_closes = 0;       // structured kClose frames received
 };
 
 /// Circuit-breaker state (exposed for tests and status lines).
@@ -117,6 +125,12 @@ class RemoteUeSul final : public learner::Sul {
   /// Server profile name from the hello handshake ("" before first contact).
   std::string server_profile() const;
 
+  /// Reason string from the last structured kClose / kServerBusy frame the
+  /// server sent ("" if none yet). Surfaced through unavailable_reason() so
+  /// `learn --remote` can print *why* a run went inconclusive.
+  std::string last_close_reason() const;
+  std::string unavailable_reason() const override;
+
  private:
   struct VoteBox {
     std::map<std::string, int> votes;
@@ -146,6 +160,7 @@ class RemoteUeSul final : public learner::Sul {
   bool server_synced_ = false;  // server holds reset+word_ state for epoch_
   std::vector<std::string> word_;  // inputs since the last reset()
   std::string server_profile_;
+  std::string last_close_reason_;
 
   BreakerState breaker_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;

@@ -192,6 +192,11 @@ void TcpListener::close() {
 }
 
 std::optional<TcpListener> TcpListener::listen(std::uint16_t port) {
+  return listen("127.0.0.1", port);
+}
+
+std::optional<TcpListener> TcpListener::listen(const std::string& bind_host,
+                                               std::uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   int one = 1;
@@ -204,7 +209,10 @@ std::optional<TcpListener> TcpListener::listen(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 16) != 0) {
     ::close(fd);

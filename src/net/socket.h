@@ -48,8 +48,8 @@ class TcpConn {
   int fd_ = -1;
 };
 
-/// A listening socket bound to 127.0.0.1. Port 0 requests an ephemeral port;
-/// `port()` reports the bound one.
+/// A listening socket, loopback by default. Port 0 requests an ephemeral
+/// port; `port()` reports the bound one.
 class TcpListener {
  public:
   TcpListener() = default;
@@ -60,6 +60,11 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   static std::optional<TcpListener> listen(std::uint16_t port);
+  /// Binds a specific IPv4 address ("0.0.0.0" for all interfaces). Callers
+  /// exposing a routable bind must layer authentication on top — the SUL
+  /// server refuses a non-loopback bind without a PSK.
+  static std::optional<TcpListener> listen(const std::string& bind_host,
+                                           std::uint16_t port);
 
   /// Waits up to `timeout_seconds` for one connection; nullopt on timeout or
   /// a closed listener.

@@ -1,6 +1,9 @@
 #include "net/wire.h"
 
+#include <cstdio>
+
 #include "common/journal.h"  // crc32
+#include "common/rng.h"      // prf64 (simulation-grade keyed MAC)
 
 namespace procheck::net {
 
@@ -58,13 +61,46 @@ std::string_view to_string(FrameType type) {
       return "bye";
     case FrameType::kError:
       return "error";
+    case FrameType::kChallenge:
+      return "challenge";
+    case FrameType::kAuthResponse:
+      return "auth_response";
+    case FrameType::kServerBusy:
+      return "server_busy";
+    case FrameType::kClose:
+      return "close";
   }
   return "?";
 }
 
 bool known_frame_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kError);
+         raw <= static_cast<std::uint8_t>(FrameType::kClose);
+}
+
+std::string auth_mac(const std::string& psk, const std::string& nonce_hex,
+                     std::uint32_t epoch) {
+  // Key = PRF of the PSK octets under a fixed domain constant; MAC = PRF of
+  // (nonce || epoch) under that key. Domain separation keeps this MAC from
+  // colliding with any other prf64 use in the framework.
+  Bytes key_material(psk.begin(), psk.end());
+  const std::uint64_t key = prf64(0x50C5A117u, key_material);
+  Bytes data(nonce_hex.begin(), nonce_hex.end());
+  put_u32(data, epoch);
+  const std::uint64_t mac = prf64(key, data);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(mac));
+  return hex;
+}
+
+bool constant_time_equal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<unsigned char>(acc | (static_cast<unsigned char>(a[i]) ^
+                                            static_cast<unsigned char>(b[i])));
+  }
+  return acc == 0;
 }
 
 Bytes encode_frame(const Frame& frame) {
@@ -75,7 +111,7 @@ Bytes encode_frame(const Frame& frame) {
   out.reserve(4 + kFrameOverhead + payload);
   put_u32(out, static_cast<std::uint32_t>(kFrameOverhead + payload));
   put_u16(out, kWireMagic);
-  out.push_back(kWireVersion);
+  out.push_back(frame.version);
   out.push_back(static_cast<std::uint8_t>(frame.type));
   put_u32(out, frame.epoch);
   put_u32(out, frame.seq);
@@ -105,7 +141,9 @@ Decoded decode_frame(const Bytes& wire, std::size_t* consumed) {
   }
   const std::uint8_t* body = wire.data() + 4;
   if (get_u16(body) != kWireMagic) return bad("bad magic");
-  if (body[2] != kWireVersion) return bad("unsupported protocol version");
+  if (body[2] < kMinWireVersion || body[2] > kWireVersion) {
+    return bad("unsupported protocol version");
+  }
   if (!known_frame_type(body[3])) return bad("unknown frame type");
 
   const std::size_t payload_len = length - kFrameOverhead;
@@ -116,6 +154,7 @@ Decoded decode_frame(const Bytes& wire, std::size_t* consumed) {
   Decoded d;
   d.status = DecodeStatus::kFrame;
   d.frame.type = static_cast<FrameType>(body[3]);
+  d.frame.version = body[2];
   d.frame.epoch = get_u32(body + 4);
   d.frame.seq = get_u32(body + 8);
   d.frame.payload.assign(reinterpret_cast<const char*>(body + 12), payload_len);

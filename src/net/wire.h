@@ -1,10 +1,12 @@
-// Remote-SUL wire framing (DESIGN.md §12).
+// Remote-SUL wire framing (DESIGN.md §12, §13).
 //
 // A frame is a length-prefixed, CRC-tagged, versioned record:
 //
 //   u32  length L           (bytes that follow the prefix; bounds-checked)
 //   u16  magic  0x50C5
-//   u8   version (kWireVersion)
+//   u8   version (kWireVersion; v1 frames still decode so a legacy hello
+//                 can be answered with a structured "upgrade required"
+//                 close instead of a silent framing drop)
 //   u8   type    (FrameType)
 //   u32  epoch   (connection generation — bumped on every reconnect so a
 //                 stale answer from a previous link can never interleave)
@@ -20,6 +22,11 @@
 // impossible (the length prefix itself is untrusted), so a framing error
 // poisons the FrameReader until reset() — transports must drop the
 // connection, which is exactly what the client and server do.
+//
+// v2 adds the authenticated session handshake (DESIGN.md §13):
+// hello → [challenge → auth_response] → hello_ack, plus the structured
+// admission/teardown frames (server_busy, close) whose payload is a reason
+// token from the kReason* set below.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +38,11 @@
 namespace procheck::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x50C5;
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Current protocol generation: v2 = authenticated multi-session handshake.
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest version the decoder still *parses* (so the server can answer a v1
+/// hello with a structured upgrade-required close rather than mis-framing).
+inline constexpr std::uint8_t kMinWireVersion = 1;
 /// Fixed body bytes besides the payload (magic..seq + trailing CRC).
 inline constexpr std::size_t kFrameOverhead = 16;
 /// Payload bound: symbols and error strings are short; anything bigger is a
@@ -39,23 +50,62 @@ inline constexpr std::size_t kFrameOverhead = 16;
 inline constexpr std::size_t kMaxFramePayload = 4096;
 
 enum class FrameType : std::uint8_t {
-  kHello = 1,    // client → server: open a session (payload: client note)
-  kHelloAck,     // server → client: session accepted (payload: profile name)
-  kReset,        // client → server: reset the SUL to its initial state
-  kResetAck,     // server → client
-  kStep,         // client → server: one input symbol (payload)
-  kStepAck,      // server → client: the output symbol (payload)
-  kPing,         // keepalive probe
-  kPong,         //
-  kBye,          // orderly session end
-  kError,        // server → client: structured refusal (payload: reason)
+  kHello = 1,     // client → server: open a session (payload: client note)
+  kHelloAck,      // server → client: session admitted (payload: profile name)
+  kReset,         // client → server: reset the SUL to its initial state
+  kResetAck,      // server → client
+  kStep,          // client → server: one input symbol (payload)
+  kStepAck,       // server → client: the output symbol (payload)
+  kPing,          // keepalive probe
+  kPong,          //
+  kBye,           // orderly session end
+  kError,         // server → client: structured refusal (payload: reason)
+  kChallenge,     // server → client: PSK auth nonce (payload: hex nonce)
+  kAuthResponse,  // client → server: HMAC over nonce+epoch (payload: hex mac)
+  kServerBusy,    // server → client: admission rejected (payload: reason)
+  kClose,         // server → client: structured session teardown (reason)
 };
 
 std::string_view to_string(FrameType type);
 bool known_frame_type(std::uint8_t raw);
 
+// Reason tokens carried by kServerBusy / kClose payloads. Machine-matchable
+// (the client surfaces them verbatim in stats and CLI diagnostics).
+inline constexpr const char* kReasonServerBusy = "server_busy";
+inline constexpr const char* kReasonDraining = "draining";
+inline constexpr const char* kReasonAuthFailed = "auth_failed";
+inline constexpr const char* kReasonUpgradeRequired =
+    "upgrade_required: protocol v2 with PSK handshake; rebuild your client";
+inline constexpr const char* kReasonQuotaQueries = "quota_exceeded: queries";
+inline constexpr const char* kReasonQuotaBytes = "quota_exceeded: bytes";
+inline constexpr const char* kReasonQuotaWall = "quota_exceeded: wall_clock";
+inline constexpr const char* kReasonIdleTimeout = "idle_timeout";
+inline constexpr const char* kReasonDrained = "drained";
+inline constexpr const char* kReasonSessionError = "session_error";
+
+// --- PSK authentication (DESIGN.md §13) --------------------------------------
+// Challenge/response over the reserved hello payload slot: the server sends a
+// fresh per-connection nonce, the client answers with a keyed MAC over
+// (nonce, epoch) under the shared PSK, and the server compares in constant
+// time. Anti-replay falls out of nonce freshness: a captured auth_response is
+// bound to a nonce that will never be issued again. The MAC is the
+// simulation-grade keyed PRF of common/rng.h (DESIGN.md §1: logical — not
+// cryptographic — strength is what this reproduction models).
+
+/// Hex-encoded 64-bit MAC binding the shared key to this connection's nonce
+/// and epoch. Both sides compute it; the server compares in constant time.
+std::string auth_mac(const std::string& psk, const std::string& nonce_hex,
+                     std::uint32_t epoch);
+
+/// Length-leaking-only comparison: runtime independent of *where* the inputs
+/// differ, so a byte-at-a-time MAC oracle cannot exist.
+bool constant_time_equal(std::string_view a, std::string_view b);
+
 struct Frame {
   FrameType type = FrameType::kError;
+  /// Protocol version this frame was encoded with (decode fills it in; the
+  /// server uses it to version-gate the hello).
+  std::uint8_t version = kWireVersion;
   std::uint32_t epoch = 0;
   std::uint32_t seq = 0;
   std::string payload;

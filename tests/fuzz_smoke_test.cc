@@ -16,14 +16,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "instrument/trace_log.h"
 #include "nas/messages.h"
+#include "net/socket.h"
+#include "net/sul_server.h"
 #include "net/wire.h"
+#include "ue/profile.h"
 
 namespace procheck {
 namespace {
@@ -307,6 +313,183 @@ TEST(FuzzSmoke, FrameReaderNeverCrashesOnMutatedStreams) {
   EXPECT_GT(clean_streams, 0u);
   EXPECT_GT(poisoned_streams, 0u);
   std::printf("[fuzz] wire stream: %zu clean, %zu poisoned\n", clean_streams, poisoned_streams);
+}
+
+// --- Handshake fuzz against a live server ------------------------------------
+
+namespace handshake {
+
+bool send_bytes(net::TcpConn& conn, const Bytes& wire) { return conn.send_all(wire, 1.0); }
+
+std::optional<net::Frame> read_one(net::TcpConn& conn, net::FrameReader& reader,
+                                   double budget = 1.0) {
+  const auto start = std::chrono::steady_clock::now();
+  Bytes chunk;
+  bool eof = false;
+  for (;;) {
+    net::Decoded d = reader.next();
+    if (d.status == net::DecodeStatus::kFrame) return d.frame;
+    if (d.status == net::DecodeStatus::kBadFrame) return std::nullopt;
+    // The peer closed and the buffer is drained: nothing more will come.
+    if (eof) return std::nullopt;
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() >
+        budget) {
+      return std::nullopt;
+    }
+    chunk.clear();
+    auto status = conn.recv_some(chunk, 4096, 0.05);
+    if (status == net::TcpConn::RecvStatus::kData) {
+      reader.feed(chunk);
+    } else if (status != net::TcpConn::RecvStatus::kTimeout) {
+      eof = true;
+    }
+  }
+}
+
+}  // namespace handshake
+
+// Satellite: structure-aware mutation of the hello/auth handshake against a
+// *live* multi-session server. The contract under fuzz: a mutated or
+// replayed handshake always ends in a clean structured refusal (or a dead
+// connection) — NEVER a crash and NEVER an authenticated session without
+// the correct per-connection MAC. This covers the anti-replay nonce path:
+// replayed auth responses are drawn from earlier rounds' captured MACs.
+TEST(FuzzSmoke, MutatedHandshakesNeverCrashOrAuthenticate) {
+  constexpr const char* kPsk = "fuzz-psk";
+  net::SulServerOptions sopts;
+  sopts.psk = kPsk;
+  sopts.nonce_seed = 0xF022;       // reproducible challenge stream
+  sopts.max_sessions = 16;         // absorb teardown overlap across rounds
+  sopts.handshake_timeout_seconds = 0.2;  // truncated hellos time out fast
+  net::SulServer server(ue::StackProfile::cls(), sopts);
+  ASSERT_TRUE(server.start());
+
+  Rng rng(0x4A5D54A3ULL);
+  std::vector<std::string> captured_macs;  // replay ammunition
+  std::size_t refusals = 0;
+  std::size_t legit = 0;
+  std::size_t busy = 0;
+
+  for (int round = 0; round < 250; ++round) {
+    auto conn = net::TcpConn::connect("127.0.0.1", server.port(), 1.0);
+    ASSERT_TRUE(conn.has_value()) << "round " << round;
+    net::FrameReader reader;
+
+    net::Frame hello;
+    hello.type = net::FrameType::kHello;
+    hello.epoch = 1;
+    hello.seq = 1;
+    hello.payload = "fuzz-client";
+
+    // Mutation menu: 0 = mangled hello bytes, 1 = mangled auth bytes,
+    // 2 = replayed MAC from an earlier connection, 3 = MAC over the wrong
+    // epoch, 4 = fully legitimate handshake (keeps the corpus honest and
+    // feeds the replay pool).
+    // Every 7th round is forced-legitimate so the replay pool seeds on round
+    // 0 (mode 2 draws from it) and the corpus keeps an authenticated path.
+    const std::uint64_t mode = (round % 7 == 0) ? 4 : rng.next_below(5);
+    bool supplied_correct_mac = false;
+
+    if (mode == 0) {
+      Bytes wire = net::encode_frame(hello);
+      std::uint64_t depth = 1 + rng.next_below(3);
+      for (std::uint64_t d = 0; d < depth; ++d) wire = mutate_bytes(wire, rng);
+      if (!handshake::send_bytes(*conn, wire)) continue;
+    } else {
+      if (!handshake::send_bytes(*conn, net::encode_frame(hello))) continue;
+      auto challenge = handshake::read_one(*conn, reader);
+      if (!challenge || challenge->type != net::FrameType::kChallenge) {
+        if (challenge && challenge->type == net::FrameType::kServerBusy) ++busy;
+        continue;  // refused before auth: structured either way
+      }
+      net::Frame auth;
+      auth.type = net::FrameType::kAuthResponse;
+      auth.epoch = 1;
+      auth.seq = 2;
+      switch (mode) {
+        case 1: {  // well-formed frame carrying a mangled MAC, or mangled bytes
+          auth.payload = net::auth_mac(kPsk, challenge->payload, auth.epoch);
+          Bytes wire = net::encode_frame(auth);
+          wire = mutate_bytes(wire, rng);
+          if (!handshake::send_bytes(*conn, wire)) continue;
+          break;
+        }
+        case 2:  // anti-replay: a MAC captured from an earlier connection
+          auth.payload = captured_macs[rng.next_below(captured_macs.size())];
+          if (!handshake::send_bytes(*conn, net::encode_frame(auth))) continue;
+          break;
+        case 3:  // right nonce, wrong epoch binding
+          auth.payload = net::auth_mac(kPsk, challenge->payload, auth.epoch + 1);
+          if (!handshake::send_bytes(*conn, net::encode_frame(auth))) continue;
+          break;
+        default:  // legitimate
+          auth.payload = net::auth_mac(kPsk, challenge->payload, auth.epoch);
+          supplied_correct_mac = true;
+          captured_macs.push_back(auth.payload);
+          if (!handshake::send_bytes(*conn, net::encode_frame(auth))) continue;
+          break;
+      }
+    }
+
+    // THE invariant: a hello-ack may only ever follow the correct MAC for
+    // *this* connection's nonce. (Mode 1 can mutate into a no-op or hit
+    // non-MAC bytes; only an actually-correct MAC may authenticate.)
+    auto response = handshake::read_one(*conn, reader);
+    if (response && response->type == net::FrameType::kHelloAck) {
+      if (mode == 1) {
+        // The mutation must have left the MAC bytes (and framing) intact.
+        continue;
+      }
+      ASSERT_TRUE(supplied_correct_mac) << "round " << round << " mode " << mode
+                                        << ": authenticated without the key";
+      ++legit;
+    } else {
+      ++refusals;
+    }
+  }
+
+  // Liveness after the storm: a clean handshake and a real query still work,
+  // so none of the 250 mangled handshakes wedged or crashed the server.
+  {
+    auto conn = net::TcpConn::connect("127.0.0.1", server.port(), 1.0);
+    ASSERT_TRUE(conn.has_value());
+    net::FrameReader reader;
+    net::Frame hello;
+    hello.type = net::FrameType::kHello;
+    hello.epoch = 1;
+    hello.seq = 1;
+    ASSERT_TRUE(handshake::send_bytes(*conn, net::encode_frame(hello)));
+    auto challenge = handshake::read_one(*conn, reader, 2.0);
+    ASSERT_TRUE(challenge.has_value());
+    ASSERT_EQ(challenge->type, net::FrameType::kChallenge);
+    net::Frame auth;
+    auth.type = net::FrameType::kAuthResponse;
+    auth.epoch = 1;
+    auth.seq = 2;
+    auth.payload = net::auth_mac(kPsk, challenge->payload, auth.epoch);
+    ASSERT_TRUE(handshake::send_bytes(*conn, net::encode_frame(auth)));
+    auto ack = handshake::read_one(*conn, reader, 2.0);
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->type, net::FrameType::kHelloAck);
+    net::Frame reset;
+    reset.type = net::FrameType::kReset;
+    reset.epoch = 1;
+    reset.seq = 3;
+    ASSERT_TRUE(handshake::send_bytes(*conn, net::encode_frame(reset)));
+    auto reset_ack = handshake::read_one(*conn, reader, 2.0);
+    ASSERT_TRUE(reset_ack.has_value());
+    EXPECT_EQ(reset_ack->type, net::FrameType::kResetAck);
+  }
+
+  server.stop();
+  const net::SulServerStats stats = server.stats();
+  EXPECT_EQ(stats.session_errors, 0) << "a mangled handshake crashed a session";
+  EXPECT_GT(stats.auth_failures, 0) << "the mutator never reached the MAC check";
+  EXPECT_GT(refusals, 0u);
+  EXPECT_GT(legit, 0u) << "no legitimate handshake ever completed";
+  std::printf("[fuzz] handshake: %zu refusals, %zu authenticated, %zu busy, "
+              "%ld server auth failures\n",
+              refusals, legit, busy, stats.auth_failures);
 }
 
 // --- Log-parser fuzz --------------------------------------------------------
