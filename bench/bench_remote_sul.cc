@@ -19,7 +19,17 @@
 // workload through its own session and the table reports aggregate plus
 // per-session throughput. --write-json records everything machine-readably.
 //
-//   ./bench_remote_sul [--words N] [--clients N] [--write-json [path]]
+// --rtt-ms M adds the RTT-amortization sweep for the wire-v3 word protocol:
+// the same workload through a chaos proxy that delays every chunk ~M ms, once
+// per protocol shape — per-symbol (--batch 0), word-level (batch 1), and
+// batched (the negotiated batch, default 16). On loopback the RTT is ~zero
+// and all three shapes tie; with a real RTT the per-symbol shape pays
+// 2·(|word|+1) delays per query and the batched shape amortizes two delays
+// across a whole batch, which is the point of wire v3.
+//
+//   ./bench_remote_sul [--words N] [--clients N] [--rtt-ms M] [--batch N]
+//                      [--write-json [path]]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -136,9 +146,71 @@ ClientsSample run_clients(int clients, const Workload& w,
   return sample;
 }
 
+struct RttRow {
+  int batch = 0;  // 0 = per-symbol v2 protocol, 1 = one kQueryWord per word
+  double seconds = 0;
+  double queries_per_sec = 0;
+  long server_resets = 0;  // what prefix-sorted execution actually saved
+  long server_steps = 0;
+};
+
+// One protocol shape through a delaying (but lossless) proxy. The learner-side
+// traffic is identical in all shapes — only the wire shape changes — so the
+// rows are directly comparable.
+RttRow run_rtt_row(int batch, int rtt_ms, const Workload& w,
+                   const ue::StackProfile& profile) {
+  RttRow row;
+  row.batch = batch;
+  net::SulServer server(profile);
+  if (!server.start()) {
+    std::fprintf(stderr, "error: cannot start loopback SUL server\n");
+    return row;
+  }
+  net::ChaosProxyOptions popts;
+  popts.upstream_port = server.port();
+  popts.faults.delay = 1.0;  // every chunk pays the synthetic RTT
+  popts.max_delay_ms = rtt_ms;
+  net::ChaosProxy proxy(popts);
+  if (!proxy.start()) {
+    std::fprintf(stderr, "error: cannot start chaos proxy\n");
+    return row;
+  }
+  net::RemoteSulOptions opts;
+  opts.port = proxy.port();
+  opts.max_batch_words = batch;
+  opts.call_deadline_seconds = 5.0;  // the delays are the point, not a fault
+  net::RemoteUeSul sul(opts);
+  const auto start = std::chrono::steady_clock::now();
+  if (batch > 1) {
+    // The learner hands whole rounds to query_batch; feed it group-sized
+    // slices so the client's chunking + in-flight window do the batching.
+    std::size_t i = 0;
+    while (i < w.words.size()) {
+      const std::size_t n = std::min<std::size_t>(w.words.size() - i,
+                                                  static_cast<std::size_t>(batch) * 4);
+      std::vector<std::vector<std::string>> group(
+          w.words.begin() + static_cast<std::ptrdiff_t>(i),
+          w.words.begin() + static_cast<std::ptrdiff_t>(i + n));
+      sul.query_batch(group);
+      i += n;
+    }
+  } else {
+    for (const auto& word : w.words) sul.run(word);
+  }
+  row.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  row.queries_per_sec = static_cast<double>(w.words.size()) / row.seconds;
+  server.stop();
+  const net::SulServerStats sstats = server.stats();
+  row.server_resets = sstats.resets;
+  row.server_steps = sstats.steps;
+  return row;
+}
+
 void write_json(const std::string& path, const Workload& w,
                 const std::vector<Row>& rows,
-                const std::vector<ClientsSample>& sweep) {
+                const std::vector<ClientsSample>& sweep, int rtt_ms,
+                const std::vector<RttRow>& rtt_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -166,6 +238,15 @@ void write_json(const std::string& path, const Workload& w,
                  s.clients, s.wall_seconds, s.aggregate_qps, s.per_session_qps,
                  s.server_sessions, i + 1 < sweep.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"rtt_ms\": %d,\n  \"rtt_sweep\": [\n", rtt_ms);
+  for (std::size_t i = 0; i < rtt_rows.size(); ++i) {
+    const RttRow& r = rtt_rows[i];
+    std::fprintf(f,
+                 "    {\"batch\": %d, \"seconds\": %.3f, \"queries_per_sec\": %.0f,"
+                 " \"server_resets\": %ld, \"server_steps\": %ld}%s\n",
+                 r.batch, r.seconds, r.queries_per_sec, r.server_resets, r.server_steps,
+                 i + 1 < rtt_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -176,20 +257,26 @@ void write_json(const std::string& path, const Workload& w,
 int main(int argc, char** argv) {
   int count = 2000;
   int clients_override = 0;
+  int rtt_ms = 0;
+  int batch_size = 16;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       clients_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rtt-ms") == 0 && i + 1 < argc) {
+      rtt_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_size = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--write-json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-')
                       ? argv[++i]
                       : "BENCH_remote_sul.json";
     } else {
       std::fprintf(stderr,
-                   "usage: bench_remote_sul [--words N] [--clients N]"
-                   " [--write-json [path]]\n");
+                   "usage: bench_remote_sul [--words N] [--clients N] [--rtt-ms M]"
+                   " [--batch N] [--write-json [path]]\n");
       return 2;
     }
   }
@@ -275,6 +362,42 @@ int main(int argc, char** argv) {
                 s.aggregate_qps, s.per_session_qps, s.server_sessions);
   }
 
-  if (!json_path.empty()) write_json(json_path, w, rows, sweep);
+  // RTT-amortization sweep (wire v3). A smaller sub-workload keeps the
+  // per-symbol row tolerable: at M ms per chunk it pays ~2·(|word|+1)·M ms
+  // per query.
+  std::vector<RttRow> rtt_rows;
+  if (rtt_ms > 0) {
+    Workload rw = w;
+    const std::size_t rtt_words = std::min<std::size_t>(rw.words.size(), 300);
+    if (rw.words.size() > rtt_words) {
+      rw.words.resize(rtt_words);
+      rw.total_steps = 0;
+      for (const auto& word : rw.words) rw.total_steps += static_cast<long>(word.size());
+    }
+    std::printf("\nRTT amortization at ~%d ms per chunk (%zu words):\n", rtt_ms,
+                rw.words.size());
+    std::printf("%-22s %10s %12s %10s %10s %9s\n", "protocol shape", "seconds",
+                "queries/s", "resets", "steps", "speedup");
+    const std::vector<int> shapes = {0, 1, batch_size > 1 ? batch_size : 16};
+    double base_qps = 0;
+    for (int b : shapes) {
+      rtt_rows.push_back(run_rtt_row(b, rtt_ms, rw, profile));
+      const RttRow& r = rtt_rows.back();
+      if (b == 0) base_qps = r.queries_per_sec;
+      char name[48];
+      if (b == 0) {
+        std::snprintf(name, sizeof(name), "per-symbol (batch=0)");
+      } else if (b == 1) {
+        std::snprintf(name, sizeof(name), "word-level (batch=1)");
+      } else {
+        std::snprintf(name, sizeof(name), "batched    (batch=%d)", b);
+      }
+      std::printf("%-22s %10.3f %12.0f %10ld %10ld %8.1fx\n", name, r.seconds,
+                  r.queries_per_sec, r.server_resets, r.server_steps,
+                  base_qps > 0 ? r.queries_per_sec / base_qps : 0.0);
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, w, rows, sweep, rtt_ms, rtt_rows);
   return 0;
 }

@@ -60,7 +60,8 @@ int usage() {
                "usage: prochecker <instrument|conformance|extract|analyze|chaos|serve-sul|learn>"
                " [options]\n"
                "  instrument <source-file> [--header <header-file>]\n"
-               "  conformance --profile <cls|srsue|oai> [--log <file>] [--remote <host:port>]\n"
+               "  conformance --profile <cls|srsue|oai> [--log <file>] [--remote <host:port>]"
+               " [--batch <N>]\n"
                "  extract --profile <cls|srsue|oai> [--log <file>] [--dot] [--basic]"
                " [--recovery]\n"
                "  analyze --profile <cls|srsue|oai> [--properties <ids>]"
@@ -75,7 +76,9 @@ int usage() {
                " [--idle-timeout <S>]\n"
                "            [--drain-seconds <S>] [--stats]\n"
                "  learn --profile <cls|srsue|oai> [--remote <host:port>] [--psk <key>]"
-               " [--seed <S>] [--dot]\n");
+               " [--seed <S>] [--dot] [--batch <N>]\n"
+               "        (--batch 0 forces the per-symbol v2 protocol; default offers"
+               " a 16-word batch)\n");
   return 2;
 }
 
@@ -199,18 +202,28 @@ int cmd_instrument(const Args& args) {
   return 0;
 }
 
+// --batch N: words offered per kQueryBatch in the v3 hello (0 = force the
+// per-symbol v2 protocol). nullopt on a malformed value.
+std::optional<int> parse_batch(const Args& args, int dflt) {
+  if (!args.has("batch")) return dflt;
+  auto v = parse_u64(args.get("batch"));
+  if (!v || *v > net::kMaxBatchWords) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
 // --remote host:port: differential conformance against a serve-sul endpoint
 // (scripted flows; expectations from the local reference stack). Exit 0 when
 // every scenario passes, 1 on behavioral divergence, 3 when the transport
 // degraded and verdicts are inconclusive.
 int cmd_remote_conformance(const ue::StackProfile& profile, const std::string& endpoint,
-                           const std::string& psk) {
+                           const std::string& psk, int batch_words) {
   auto ep = parse_endpoint(endpoint);
   if (!ep) return bad_option("remote", endpoint);
   net::RemoteSulOptions ropts;
   ropts.host = ep->first;
   ropts.port = ep->second;
   ropts.psk = psk;
+  ropts.max_batch_words = batch_words;
   net::RemoteUeSul sul(ropts);
   net::RemoteConformanceReport report = net::run_remote_conformance(profile, sul);
   std::fputs(report.render().c_str(), stdout);
@@ -227,7 +240,9 @@ int cmd_conformance(const Args& args) {
   auto profile = profile_by_name(args.get("profile"));
   if (!profile) return usage();
   if (args.has("remote")) {
-    return cmd_remote_conformance(*profile, args.get("remote"), args.get("psk"));
+    auto batch = parse_batch(args, net::kDefaultBatchWords);
+    if (!batch) return bad_option("batch", args.get("batch"));
+    return cmd_remote_conformance(*profile, args.get("remote"), args.get("psk"), *batch);
   }
   instrument::TraceLogger trace;
   testing::ConformanceReport report = testing::run_conformance(*profile, trace);
@@ -491,6 +506,9 @@ int cmd_learn(const Args& args) {
     ropts.port = ep->second;
     ropts.psk = args.get("psk");
     ropts.heartbeat_seconds = 0.5;
+    auto batch = parse_batch(args, net::kDefaultBatchWords);
+    if (!batch) return bad_option("batch", args.get("batch"));
+    ropts.max_batch_words = *batch;
     net::RemoteUeSul sul(ropts);
     result = learner::learn_mealy(sul, options);
     net::RemoteSulStats stats = sul.stats();
@@ -499,6 +517,11 @@ int cmd_learn(const Args& args) {
                  " %ld breaker opens, %ld nondeterministic queries\n",
                  stats.connects, stats.reconnects, stats.framing_errors, stats.rpc_timeouts,
                  stats.breaker_opens, stats.nondeterministic_queries);
+    std::fprintf(stderr,
+                 "batching: negotiated %d words, %ld batches (%ld words), %ld word"
+                 " queries, %ld word resyncs\n",
+                 sul.negotiated_batch_words(), stats.batch_queries, stats.batched_words,
+                 stats.word_queries, stats.word_resyncs);
     // Structured server refusals (busy, draining, auth_failed, quota trips,
     // upgrade_required) surface here so an inconclusive run names its cause.
     const std::string reason = sul.last_close_reason();
@@ -533,6 +556,16 @@ int cmd_learn(const Args& args) {
                result.membership_queries, result.equivalence_queries, result.counterexamples,
                result.sul_resets, result.sul_steps,
                result.converged ? "converged" : "round budget exhausted");
+  const long lookups = result.cache_hits + result.cache_prefix_hits + result.cache_misses;
+  std::fprintf(stderr,
+               "query cache: %ld hits, %ld prefix hits, %ld misses (%.0f%% answered),"
+               " %ld batches (%ld words)%s\n",
+               result.cache_hits, result.cache_prefix_hits, result.cache_misses,
+               lookups > 0 ? 100.0 * static_cast<double>(result.cache_hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0,
+               result.batch_queries, result.batched_words,
+               result.nondeterministic_cached > 0 ? " [nondeterministic outputs!]" : "");
   return 0;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "learner/output_trie.h"
 
 namespace procheck::learner {
 
@@ -17,7 +18,14 @@ Word concat(const Word& a, const Word& b) {
   return out;
 }
 
-/// Observation table with a membership-query cache.
+/// Observation table backed by the prefix-closed OutputTrie cache. Instead
+/// of querying lazily cell-by-cell, each closure/consistency round first
+/// collects every unresolved cell word, dedupes it (exact duplicates *and*
+/// words that are proper prefixes of another word in the same batch — the
+/// trie answers those for free), and ships the remainder as one
+/// Sul::query_batch() call. The answers are deterministic, so the built
+/// hypothesis is byte-identical to the old one-query-per-cell path; only
+/// the transport cost changes.
 class ObservationTable {
  public:
   ObservationTable(Sul& sul, LearnResult& result) : sul_(sul), result_(result) {
@@ -28,14 +36,9 @@ class ObservationTable {
   }
 
   /// Output suffix for prefix·suffix (the last |suffix| outputs).
-  const Word& cell(const Word& prefix, const Word& suffix) {
-    auto key = std::make_pair(prefix, suffix);
-    auto it = cells_.find(key);
-    if (it != cells_.end()) return it->second;
-    Word word = concat(prefix, suffix);
-    Word outputs = query(word);
-    Word tail(outputs.end() - static_cast<std::ptrdiff_t>(suffix.size()), outputs.end());
-    return cells_.emplace(key, std::move(tail)).first->second;
+  Word cell(const Word& prefix, const Word& suffix) {
+    Word outputs = query(concat(prefix, suffix));
+    return Word(outputs.end() - static_cast<std::ptrdiff_t>(suffix.size()), outputs.end());
   }
 
   /// Row signature of a prefix over all suffixes.
@@ -60,6 +63,10 @@ class ObservationTable {
   MealyMachine close_and_build() {
     for (bool changed = true; changed && !unavailable_;) {
       changed = false;
+      // Resolve every cell this round can touch in one deduplicated batch
+      // before the row scans below read them back out of the trie.
+      prefetch_round();
+      if (unavailable_) break;
       // Closedness: every one-step extension's row must match some prefix row.
       std::set<std::string> prefix_rows;
       for (const Word& s : prefixes_) prefix_rows.insert(row(s));
@@ -110,23 +117,65 @@ class ObservationTable {
   }
 
   Word query(const Word& word) {
-    auto it = query_cache_.find(word);
-    if (it != query_cache_.end()) return it->second;
+    if (auto cached = trie_.lookup(word)) return *cached;
     ++result_.membership_queries;
-    Word outputs = sul_.run(word);
-    for (const std::string& o : outputs) {
-      if (o == kSulUnavailable) {
-        // Don't cache unanswerable words: a later retry (e.g. after the
-        // remote circuit closes again) must hit the SUL, not the poison.
-        unavailable_ = true;
-        return outputs;
-      }
-    }
-    query_cache_.emplace(word, outputs);
+    Word outputs = sul_.query_word(word);
+    if (!record(word, outputs)) unavailable_ = true;
     return outputs;
   }
 
+  const OutputTrie& trie() const { return trie_; }
+
  private:
+  /// Caches a real observation; false when it contained kSulUnavailable
+  /// (unanswerable words are never cached — a later retry, e.g. after the
+  /// remote circuit closes again, must hit the SUL, not the poison).
+  bool record(const Word& word, const Word& outputs) {
+    for (const std::string& o : outputs) {
+      if (o == kSulUnavailable) return false;
+    }
+    trie_.insert(word, outputs);
+    return true;
+  }
+
+  /// Collects every word the current round's row scans will need, drops the
+  /// ones the trie already answers, dedupes the rest (exact duplicates and
+  /// proper prefixes of a longer batched word — a Mealy prefix is free once
+  /// the longer word is cached), and ships them as one batch.
+  void prefetch_round() {
+    std::set<Word> need;
+    auto want = [&](const Word& p) {
+      for (const Word& e : suffixes_) {
+        Word w = concat(p, e);
+        if (!trie_.contains(w)) need.insert(std::move(w));
+      }
+    };
+    for (const Word& s : prefixes_) {
+      want(s);
+      for (const std::string& a : input_alphabet()) want(concat(s, {a}));
+    }
+    if (need.empty()) return;
+
+    // std::set iterates in lexicographic order, so a word that is a proper
+    // prefix of another lands immediately before its first extension —
+    // one adjacency check removes every subsumed word.
+    std::vector<Word> batch;
+    batch.reserve(need.size());
+    for (auto it = need.begin(); it != need.end(); ++it) {
+      auto next = std::next(it);
+      const bool subsumed = next != need.end() && next->size() > it->size() &&
+                            std::equal(it->begin(), it->end(), next->begin());
+      if (!subsumed) batch.push_back(*it);
+    }
+
+    ++result_.batch_queries;
+    result_.batched_words += static_cast<long>(batch.size());
+    result_.membership_queries += static_cast<long>(batch.size());
+    std::vector<Word> answers = sul_.query_batch(batch);
+    for (std::size_t i = 0; i < batch.size() && i < answers.size(); ++i) {
+      if (!record(batch[i], answers[i])) unavailable_ = true;
+    }
+  }
   bool is_prefix(const Word& w) const {
     return std::find(prefixes_.begin(), prefixes_.end(), w) != prefixes_.end();
   }
@@ -152,7 +201,7 @@ class ObservationTable {
     for (std::size_t q = 0; q < representative.size(); ++q) {
       for (const std::string& a : input_alphabet()) {
         Word ext = concat(representative[q], {a});
-        const Word& out = cell(representative[q], {a});
+        const Word out = cell(representative[q], {a});
         m.delta[{static_cast<int>(q), a}] = {state_of_row.at(row(ext)), out.front()};
       }
     }
@@ -164,8 +213,7 @@ class ObservationTable {
   bool unavailable_ = false;
   std::vector<Word> prefixes_;   // S
   std::vector<Word> suffixes_;   // E
-  std::map<std::pair<Word, Word>, Word> cells_;
-  std::map<Word, Word> query_cache_;
+  OutputTrie trie_;  // prefix-closed T: answers every cached word *and* its prefixes
 };
 
 }  // namespace
@@ -239,6 +287,11 @@ LearnResult learn_mealy(Sul& sul, const LearnOptions& options) {
   }
   result.sul_resets = sul.resets();
   result.sul_steps = sul.steps();
+  const OutputTrie::Stats& cache = table.trie().stats();
+  result.cache_hits = cache.hits;
+  result.cache_prefix_hits = cache.prefix_hits;
+  result.cache_misses = cache.misses;
+  result.nondeterministic_cached = cache.nondeterministic;
   return result;
 }
 

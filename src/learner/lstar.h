@@ -45,11 +45,21 @@ struct MealyMachine {
 
 struct LearnResult {
   MealyMachine machine;
-  long membership_queries = 0;  // table cells filled (each = one SUL word)
+  long membership_queries = 0;  // distinct words actually sent to the SUL
   long equivalence_queries = 0;
   long counterexamples = 0;
   long sul_resets = 0;
   long sul_steps = 0;
+  // Output-trie cache effectiveness (DESIGN.md §14): a hit answered a word
+  // that was queried before; a prefix hit answered a word purely from a
+  // longer word's cached edges (no SUL contact at all); a miss went to the
+  // SUL. Batch counters record how the misses were shipped.
+  long cache_hits = 0;
+  long cache_prefix_hits = 0;
+  long cache_misses = 0;
+  long nondeterministic_cached = 0;  // trie inserts that contradicted an edge
+  long batch_queries = 0;  // query_batch() calls issued by the table
+  long batched_words = 0;  // deduplicated words shipped in those batches
   bool converged = false;  // equivalence oracle found no counterexample
   /// The SUL degraded to kSulUnavailable mid-learning (remote transport
   /// down, circuit open): the run terminated with a structured inconclusive

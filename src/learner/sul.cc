@@ -132,11 +132,19 @@ std::string UeSul::step(const std::string& input) {
   return out;
 }
 
-std::vector<std::string> Sul::run(const std::vector<std::string>& word) {
+std::vector<std::string> Sul::query_word(const std::vector<std::string>& word) {
   reset();
   std::vector<std::string> outputs;
   outputs.reserve(word.size());
   for (const std::string& symbol : word) outputs.push_back(step(symbol));
+  return outputs;
+}
+
+std::vector<std::vector<std::string>> Sul::query_batch(
+    const std::vector<std::vector<std::string>>& words) {
+  std::vector<std::vector<std::string>> outputs;
+  outputs.reserve(words.size());
+  for (const std::vector<std::string>& word : words) outputs.push_back(query_word(word));
   return outputs;
 }
 

@@ -63,8 +63,22 @@ class Sul {
   /// quota_exceeded, ...), so an inconclusive LearnResult names its cause.
   virtual std::string unavailable_reason() const { return ""; }
 
-  /// Runs a whole word from the initial state (reset + steps).
-  std::vector<std::string> run(const std::vector<std::string>& word);
+  /// Answers one whole membership query (reset + the word's symbols). The
+  /// base implementation is the sequential fallback — reset() then step()
+  /// per symbol — so every Sul supports it; transport-backed SULs override
+  /// it to ship the word in a single round trip (wire v3, DESIGN.md §14).
+  virtual std::vector<std::string> query_word(const std::vector<std::string>& word);
+
+  /// Answers many membership queries. Base fallback: query_word() per item,
+  /// in order. Transport-backed SULs override it to pipeline batched frames.
+  /// The result has exactly one output word per input word, index-aligned.
+  virtual std::vector<std::vector<std::string>> query_batch(
+      const std::vector<std::vector<std::string>>& words);
+
+  /// Runs a whole word from the initial state (one membership query).
+  std::vector<std::string> run(const std::vector<std::string>& word) {
+    return query_word(word);
+  }
 };
 
 /// The in-process harness driving the simulated UE stack directly.

@@ -1,6 +1,8 @@
 #include "net/remote_sul.h"
 
 #include <algorithm>
+#include <deque>
+#include <set>
 
 namespace procheck::net {
 
@@ -14,6 +16,21 @@ double seconds_since(Clock::time_point t) {
 
 void sleep_seconds(double s) {
   if (s > 0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+/// True when the v3 codec can carry this word verbatim: the fallback for an
+/// exotic symbol is the per-symbol path, never a lossy re-encoding.
+bool word_encodable(const std::vector<std::string>& word) {
+  if (word.size() > kMaxWordSymbols) return false;
+  for (const std::string& s : word) {
+    if (s.empty() || s.size() > kMaxSymbolChars) return false;
+    for (const char c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+      if (!ok) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -159,7 +176,15 @@ bool RemoteUeSul::connect_locked(double budget_seconds) {
   ++stats_.connects;
   if (stats_.connects > 1) ++stats_.reconnects;
 
-  auto ack = rpc_locked(FrameType::kHello, "prochecker-learner");
+  // A v3 hello may carry a batch offer; a server (or test fake) that echoes
+  // no grant in the ack keeps this connection on the per-symbol path.
+  const std::string hello_payload =
+      options_.max_batch_words > 0
+          ? with_batch_token("prochecker-learner",
+                             std::min<int>(options_.max_batch_words,
+                                           static_cast<int>(kMaxBatchWords)))
+          : "prochecker-learner";
+  auto ack = rpc_locked(FrameType::kHello, hello_payload);
   if (ack && ack->type == FrameType::kChallenge) {
     // PSK handshake: prove key possession with a MAC over the server's fresh
     // nonce and our epoch. An empty PSK still answers (with a wrong MAC) so
@@ -172,12 +197,14 @@ bool RemoteUeSul::connect_locked(double budget_seconds) {
     drop_connection_locked();
     return false;
   }
-  server_profile_ = ack->payload;
+  negotiated_batch_ = options_.max_batch_words > 0 ? parse_batch_token(ack->payload) : 0;
+  server_profile_ = strip_batch_token(ack->payload);
   return true;
 }
 
-std::optional<Frame> RemoteUeSul::rpc_locked(FrameType type, const std::string& payload) {
-  if (!conn_.valid()) return std::nullopt;
+bool RemoteUeSul::send_frame_locked(FrameType type, const std::string& payload,
+                                    std::uint32_t* seq_out) {
+  if (!conn_.valid()) return false;
   Frame req;
   req.type = type;
   req.epoch = epoch_;
@@ -185,9 +212,20 @@ std::optional<Frame> RemoteUeSul::rpc_locked(FrameType type, const std::string& 
   req.payload = payload;
   if (!conn_.send_all(encode_frame(req), options_.call_deadline_seconds)) {
     drop_connection_locked();
-    return std::nullopt;
+    return false;
   }
+  *seq_out = req.seq;
+  return true;
+}
 
+std::optional<Frame> RemoteUeSul::rpc_locked(FrameType type, const std::string& payload) {
+  std::uint32_t seq = 0;
+  if (!send_frame_locked(type, payload, &seq)) return std::nullopt;
+  return await_ack_locked(seq);
+}
+
+std::optional<Frame> RemoteUeSul::await_ack_locked(std::uint32_t seq) {
+  if (!conn_.valid()) return std::nullopt;
   const auto started = Clock::now();
   Bytes chunk;
   while (seconds_since(started) < options_.call_deadline_seconds) {
@@ -214,7 +252,7 @@ std::optional<Frame> RemoteUeSul::rpc_locked(FrameType type, const std::string& 
         drop_connection_locked();
         return std::nullopt;
       }
-      if (d.frame.epoch != epoch_ || d.frame.seq != req.seq) {
+      if (d.frame.epoch != epoch_ || d.frame.seq != seq) {
         ++stats_.stale_frames;  // leftover answer from an earlier life
         continue;
       }
@@ -256,29 +294,44 @@ std::optional<std::string> RemoteUeSul::live_step_locked(double backoff_scale) {
   }
 
   if (!server_synced_) {
-    // Resync: reset the server SUL, then replay everything but the current
-    // input. The server is deterministic, so this reconstructs its state
-    // exactly — the reason reconnect-heavy runs stay byte-identical. Replay
-    // answers are real observations and feed the vote cache too.
-    auto ack = rpc_locked(FrameType::kReset, "");
-    if (!ack || ack->type != FrameType::kResetAck) {
-      record_failure_locked();
-      return std::nullopt;
-    }
-    for (std::size_t i = 0; i + 1 < word_.size(); ++i) {
-      auto step_ack = rpc_locked(FrameType::kStep, word_[i]);
-      if (!step_ack || step_ack->type != FrameType::kStepAck) {
+    // Resync: reconstruct the server state for everything but the current
+    // input. The server is deterministic, so this rebuilds its state exactly
+    // — the reason reconnect-heavy runs stay byte-identical. Replay answers
+    // are real observations and feed the vote cache too.
+    const std::vector<std::string> replay(word_.begin(), word_.end() - 1);
+    if (negotiated_batch_ > 0 && !replay.empty() && word_encodable(replay)) {
+      // Word protocol granted: the whole replay collapses into one RPC
+      // instead of 1 + |replay| round trips.
+      auto ack = rpc_locked(FrameType::kQueryWord, encode_word(replay));
+      const auto outs =
+          ack && ack->type == FrameType::kWordAck ? decode_word(ack->payload) : std::nullopt;
+      if (!outs || outs->size() != replay.size()) {
         record_failure_locked();
         return std::nullopt;
       }
-      std::vector<std::string> prefix(word_.begin(),
-                                      word_.begin() + static_cast<std::ptrdiff_t>(i + 1));
-      VoteBox& box = vote_cache_[prefix];
-      if (!box.votes.empty() && box.votes.count(step_ack->payload) == 0 && !box.disagreed) {
-        box.disagreed = true;
-        ++stats_.nondeterministic_queries;
+      ++stats_.word_resyncs;
+      vote_word_locked(replay, *outs);
+    } else {
+      auto ack = rpc_locked(FrameType::kReset, "");
+      if (!ack || ack->type != FrameType::kResetAck) {
+        record_failure_locked();
+        return std::nullopt;
       }
-      ++box.votes[step_ack->payload];
+      for (std::size_t i = 0; i + 1 < word_.size(); ++i) {
+        auto step_ack = rpc_locked(FrameType::kStep, word_[i]);
+        if (!step_ack || step_ack->type != FrameType::kStepAck) {
+          record_failure_locked();
+          return std::nullopt;
+        }
+        std::vector<std::string> prefix(word_.begin(),
+                                        word_.begin() + static_cast<std::ptrdiff_t>(i + 1));
+        VoteBox& box = vote_cache_[prefix];
+        if (!box.votes.empty() && box.votes.count(step_ack->payload) == 0 && !box.disagreed) {
+          box.disagreed = true;
+          ++stats_.nondeterministic_queries;
+        }
+        ++box.votes[step_ack->payload];
+      }
     }
     server_synced_ = true;
   }
@@ -356,6 +409,225 @@ std::string RemoteUeSul::step(const std::string& input) {
   }
   ++stats_.unavailable_answers;
   return learner::kSulUnavailable;
+}
+
+// ---------------------------------------------------------------------------
+// Word-level protocol (wire v3)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> RemoteUeSul::vote_word_locked(const std::vector<std::string>& word,
+                                                       const std::vector<std::string>& outputs) {
+  std::vector<std::string> answers;
+  answers.reserve(word.size());
+  std::vector<std::string> prefix;
+  prefix.reserve(word.size());
+  for (std::size_t i = 0; i < word.size() && i < outputs.size(); ++i) {
+    prefix.push_back(word[i]);
+    VoteBox& box = vote_cache_[prefix];
+    if (!box.votes.empty() && box.votes.count(outputs[i]) == 0 && !box.disagreed) {
+      box.disagreed = true;
+      ++stats_.nondeterministic_queries;
+    }
+    ++box.votes[outputs[i]];
+    // Majority per position, ties toward the smallest symbol — identical to
+    // what vote_and_answer_locked would have returned step by step.
+    const std::string* best = nullptr;
+    int best_count = -1;
+    for (const auto& [symbol, count] : box.votes) {
+      if (count > best_count) {
+        best = &symbol;
+        best_count = count;
+      }
+    }
+    answers.push_back(best ? *best : outputs[i]);
+  }
+  return answers;
+}
+
+RemoteUeSul::WordRpc RemoteUeSul::word_query_locked(const std::vector<std::string>& word,
+                                                    std::vector<std::string>* answers) {
+  if (options_.max_batch_words <= 0 || !word_encodable(word)) return WordRpc::kDenied;
+
+  double backoff_scale = 1.0;
+  for (int attempt = 0; attempt < options_.attempts_per_query; ++attempt) {
+    if (!breaker_allows_locked()) break;
+    if (!conn_.valid()) {
+      double backoff = options_.backoff_base_seconds * backoff_scale;
+      backoff = std::min(backoff, options_.backoff_max_seconds);
+      sleep_seconds(backoff *
+                    (0.5 + 0.5 * static_cast<double>(jitter_.next_below(1000)) / 1000.0));
+      backoff_scale *= 2.0;
+      if (!connect_locked(options_.connect_timeout_seconds)) {
+        record_failure_locked();
+        if (breaker_ == BreakerState::kOpen) break;
+        continue;
+      }
+    }
+    if (negotiated_batch_ <= 0) return WordRpc::kDenied;  // server kept us on v2
+
+    auto ack = rpc_locked(FrameType::kQueryWord, encode_word(word));
+    const auto outs =
+        ack && ack->type == FrameType::kWordAck ? decode_word(ack->payload) : std::nullopt;
+    if (outs && outs->size() == word.size()) {
+      record_success_locked();
+      server_synced_ = false;  // the server SUL now sits at this word's end state
+      ++resets_;
+      steps_ += static_cast<long>(word.size());
+      ++stats_.word_queries;
+      *answers = vote_word_locked(word, *outs);
+      return WordRpc::kOk;
+    }
+    record_failure_locked();
+    backoff_scale *= 2.0;
+    if (breaker_ == BreakerState::kOpen) break;
+  }
+  return WordRpc::kFailed;
+}
+
+std::vector<std::string> RemoteUeSul::query_word(const std::vector<std::string>& word) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> answers;
+    if (word_query_locked(word, &answers) == WordRpc::kOk) return answers;
+  }
+  // Denied or failed: the per-symbol path already encodes every retry,
+  // breaker, vote-cache, and degradation rule, so falling back preserves
+  // byte-identity (and a hard outage still degrades to kSulUnavailable).
+  return Sul::query_word(word);
+}
+
+void RemoteUeSul::batch_rpc_locked(
+    const std::vector<std::vector<std::string>>& words,
+    std::map<std::vector<std::string>, std::vector<std::string>>* answered) {
+  std::vector<std::vector<std::string>> remaining;
+  for (const auto& w : words) {
+    if (word_encodable(w) && !w.empty()) remaining.push_back(w);
+  }
+
+  double backoff_scale = 1.0;
+  for (int attempt = 0; attempt < options_.attempts_per_query && !remaining.empty();
+       ++attempt) {
+    if (!breaker_allows_locked()) break;
+    if (!conn_.valid()) {
+      double backoff = options_.backoff_base_seconds * backoff_scale;
+      backoff = std::min(backoff, options_.backoff_max_seconds);
+      sleep_seconds(backoff *
+                    (0.5 + 0.5 * static_cast<double>(jitter_.next_below(1000)) / 1000.0));
+      backoff_scale *= 2.0;
+      if (!connect_locked(options_.connect_timeout_seconds)) {
+        record_failure_locked();
+        if (breaker_ == BreakerState::kOpen) break;
+        continue;
+      }
+    }
+    if (negotiated_batch_ <= 0) return;  // denied: caller finishes per word
+
+    // Chunk the remaining words by the negotiated count and the codec's
+    // total-symbol bound, keeping up to max_inflight_batches frames in the
+    // air; acks come back in request order.
+    const std::size_t cap = static_cast<std::size_t>(negotiated_batch_);
+    const std::size_t window =
+        static_cast<std::size_t>(std::max(1, options_.max_inflight_batches));
+    std::deque<std::pair<std::uint32_t, std::vector<std::vector<std::string>>>> inflight;
+    std::size_t next = 0;
+    bool failed = false;
+
+    auto drain_one = [&]() {
+      auto [seq, chunk] = std::move(inflight.front());
+      inflight.pop_front();
+      auto ack = await_ack_locked(seq);
+      if (!ack || ack->type != FrameType::kBatchAck) return false;
+      const auto items = decode_batch_ack(ack->payload, chunk.size());
+      if (!items || items->size() != chunk.size()) {
+        drop_connection_locked();  // the server answered something we never asked
+        return false;
+      }
+      server_synced_ = false;
+      ++stats_.batch_queries;
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const BatchItem& item = (*items)[i];
+        if (!item.ok || item.outputs.size() != chunk[i].size()) continue;
+        ++resets_;
+        steps_ += static_cast<long>(chunk[i].size());
+        ++stats_.batched_words;
+        (*answered)[chunk[i]] = vote_word_locked(chunk[i], item.outputs);
+      }
+      return true;
+    };
+
+    while (next < remaining.size() || !inflight.empty()) {
+      while (next < remaining.size() && inflight.size() < window && conn_.valid()) {
+        std::vector<std::vector<std::string>> chunk;
+        std::size_t symbols = 0;
+        while (next < remaining.size() && chunk.size() < cap &&
+               symbols + remaining[next].size() <= kMaxBatchSymbols) {
+          symbols += remaining[next].size();
+          chunk.push_back(remaining[next]);
+          ++next;
+        }
+        if (chunk.empty()) {  // a single word over the symbol bound: skip it
+          ++next;
+          continue;
+        }
+        std::uint32_t seq = 0;
+        if (!send_frame_locked(FrameType::kQueryBatch, encode_batch(chunk), &seq)) {
+          failed = true;
+          break;
+        }
+        inflight.emplace_back(seq, std::move(chunk));
+      }
+      if (inflight.empty()) break;
+      if (!drain_one()) {
+        failed = true;
+        break;
+      }
+    }
+
+    std::vector<std::vector<std::string>> still;
+    for (const auto& w : remaining) {
+      if (answered->count(w) == 0) still.push_back(w);
+    }
+    remaining = std::move(still);
+    if (failed) {
+      record_failure_locked();
+      backoff_scale *= 2.0;
+      if (breaker_ == BreakerState::kOpen) break;
+    } else if (remaining.empty()) {
+      record_success_locked();
+    }
+  }
+}
+
+std::vector<std::vector<std::string>> RemoteUeSul::query_batch(
+    const std::vector<std::vector<std::string>>& words) {
+  // Dedupe identical words client-side: each distinct word rides the wire
+  // once and fans its answer back out to every position that asked for it.
+  std::vector<std::vector<std::string>> unique;
+  std::set<std::vector<std::string>> seen;
+  for (const auto& w : words) {
+    if (seen.insert(w).second) unique.push_back(w);
+  }
+  std::map<std::vector<std::string>, std::vector<std::string>> answered;
+
+  if (options_.max_batch_words > 0 && unique.size() > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_rpc_locked(unique, &answered);
+  }
+  // Anything a batch could not carry (denied protocol, transport failure,
+  // unencodable symbols) finishes through query_word's full fallback chain.
+  for (const auto& w : unique) {
+    if (answered.count(w) == 0) answered[w] = query_word(w);
+  }
+
+  std::vector<std::vector<std::string>> results;
+  results.reserve(words.size());
+  for (const auto& w : words) results.push_back(answered.at(w));
+  return results;
+}
+
+int RemoteUeSul::negotiated_batch_words() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return negotiated_batch_;
 }
 
 // ---------------------------------------------------------------------------

@@ -72,6 +72,16 @@ struct RemoteSulOptions {
   /// Heartbeat period for the keepalive thread; 0 disables it.
   double heartbeat_seconds = 0.0;
 
+  /// Words offered per kQueryBatch in the hello negotiation; 0 disables the
+  /// v3 word protocol entirely (pure per-symbol v2 behavior). The server
+  /// grants min(offer, its own cap) and echoes the grant in the hello-ack;
+  /// a server that echoes no grant (v2, or a test fake) silently keeps the
+  /// client on the per-symbol path.
+  int max_batch_words = kDefaultBatchWords;
+  /// Batch frames allowed in flight before query_batch waits on an ack
+  /// (acks come back in request order, so the window just hides RTTs).
+  int max_inflight_batches = 4;
+
   /// Jitter seed (deterministic backoff for reproducible tests).
   std::uint64_t seed = 0x5EEDF00D;
 };
@@ -93,6 +103,10 @@ struct RemoteSulStats {
   long auth_challenges = 0;     // kChallenge frames answered
   long busy_rejects = 0;        // kServerBusy rejects (admission/drain)
   long server_closes = 0;       // structured kClose frames received
+  long word_queries = 0;        // whole words answered over kQueryWord
+  long batch_queries = 0;       // kQueryBatch frames acked
+  long batched_words = 0;       // words answered inside those batches
+  long word_resyncs = 0;        // reconnect resyncs collapsed to one word RPC
 };
 
 /// Circuit-breaker state (exposed for tests and status lines).
@@ -116,8 +130,24 @@ class RemoteUeSul final : public learner::Sul {
   /// degrades to learner::kSulUnavailable when the transport is beyond help.
   std::string step(const std::string& input) override;
 
+  /// Whole membership query in one kQueryWord round trip when the server
+  /// granted the word protocol; otherwise (or on transport failure) it falls
+  /// back to the per-symbol path, which already encodes every retry, vote,
+  /// and degradation rule — so answers are byte-identical either way.
+  std::vector<std::string> query_word(const std::vector<std::string>& word) override;
+
+  /// Deduplicates the words, ships the distinct ones as pipelined kQueryBatch
+  /// frames (up to max_inflight_batches in the air), and finishes any word a
+  /// failed batch left unanswered through query_word's fallback chain.
+  std::vector<std::vector<std::string>> query_batch(
+      const std::vector<std::vector<std::string>>& words) override;
+
   long resets() const override;
   long steps() const override;
+
+  /// Batch capacity granted by the server in the last hello-ack (0 before
+  /// first contact or when the server kept us on the per-symbol path).
+  int negotiated_batch_words() const;
 
   RemoteSulStats stats() const;
   BreakerState breaker() const;
@@ -143,10 +173,28 @@ class RemoteUeSul final : public learner::Sul {
   void record_success_locked();
   bool connect_locked(double budget_seconds);
   void drop_connection_locked();
+  bool send_frame_locked(FrameType type, const std::string& payload, std::uint32_t* seq_out);
+  std::optional<Frame> await_ack_locked(std::uint32_t seq);
   std::optional<Frame> rpc_locked(FrameType type, const std::string& payload);
   std::optional<std::string> live_step_locked(double backoff_scale);
   std::string vote_and_answer_locked(const std::string& observed);
   std::optional<std::string> cached_answer_locked() const;
+
+  /// Feeds every proper prefix's observed output into the vote cache and
+  /// returns the majority answer per position — exactly what a per-symbol
+  /// run of the same word would have produced (the byte-identity invariant).
+  std::vector<std::string> vote_word_locked(const std::vector<std::string>& word,
+                                            const std::vector<std::string>& outputs);
+
+  /// One word over kQueryWord, with the step() retry/backoff/breaker rules.
+  enum class WordRpc : std::uint8_t { kOk, kDenied, kFailed };
+  WordRpc word_query_locked(const std::vector<std::string>& word,
+                            std::vector<std::string>* answers);
+  /// Best-effort pipelined batches over the distinct `words`; every answered
+  /// word lands in `*answered`. Words left behind (denied protocol, failed
+  /// link, unencodable symbols) are the caller's to finish per-word.
+  void batch_rpc_locked(const std::vector<std::vector<std::string>>& words,
+                        std::map<std::vector<std::string>, std::vector<std::string>>* answered);
 
   void heartbeat_loop();
 
@@ -161,6 +209,7 @@ class RemoteUeSul final : public learner::Sul {
   std::vector<std::string> word_;  // inputs since the last reset()
   std::string server_profile_;
   std::string last_close_reason_;
+  int negotiated_batch_ = 0;  // words per batch the server granted (0 = denied)
 
   BreakerState breaker_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;

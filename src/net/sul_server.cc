@@ -132,14 +132,21 @@ std::string SulServer::render_stats() const {
   out << "traffic: " << agg.requests << " requests (" << agg.resets << " resets, "
       << agg.steps << " steps), " << agg.pings << " pings, " << agg.framing_errors
       << " framing errors, " << agg.protocol_errors << " protocol errors\n";
-  char line[160];
-  std::snprintf(line, sizeof(line), "%4s %5s %9s %7s %7s %10s %10s  %s\n", "id", "auth",
-                "requests", "resets", "steps", "bytes_in", "bytes_out", "close_reason");
+  out << "words: " << agg.word_queries << " word queries, " << agg.batch_queries
+      << " batches (" << agg.batched_words << " words), " << agg.prefix_hits
+      << " prefix hits, " << agg.batch_refusals << " refusals\n";
+  char line[200];
+  std::snprintf(line, sizeof(line), "%4s %5s %9s %7s %7s %7s %7s %7s %10s %10s  %s\n", "id",
+                "auth", "requests", "resets", "steps", "words", "batches", "pfx_hit",
+                "bytes_in", "bytes_out", "close_reason");
   out << line;
   for (const SessionStats& s : sessions) {
-    std::snprintf(line, sizeof(line), "%4ld %5s %9ld %7ld %7ld %10ld %10ld  %s\n", s.id,
-                  s.authenticated ? "yes" : "no", s.requests, s.resets, s.steps, s.bytes_in,
-                  s.bytes_out, s.close_reason.empty() ? "(live)" : s.close_reason.c_str());
+    std::snprintf(line, sizeof(line),
+                  "%4ld %5s %9ld %7ld %7ld %7ld %7ld %7ld %10ld %10ld  %s\n", s.id,
+                  s.authenticated ? "yes" : "no", s.requests, s.resets, s.steps,
+                  s.word_queries + s.batched_words, s.batch_queries, s.prefix_hits,
+                  s.bytes_in, s.bytes_out,
+                  s.close_reason.empty() ? "(live)" : s.close_reason.c_str());
     out << line;
   }
   return out.str();
@@ -213,8 +220,9 @@ void SulServer::run_session(std::shared_ptr<TcpConn> conn, long session_id) {
   std::string close_reason = "eof";
   try {
     FrameReader reader;
-    if (handshake(*conn, session_id, reader, &close_reason)) {
-      close_reason = session_loop(*conn, session_id, reader);
+    int batch_words = 0;
+    if (handshake(*conn, session_id, reader, &close_reason, &batch_words)) {
+      close_reason = session_loop(*conn, session_id, reader, batch_words);
     }
   } catch (const std::exception& e) {
     // Crash isolation: an exception tears down this session only. The close
@@ -285,7 +293,8 @@ SulServer::ReadStatus SulServer::read_frame(TcpConn& conn, long session_id,
 }
 
 bool SulServer::handshake(TcpConn& conn, long session_id, FrameReader& reader,
-                          std::string* close_reason) {
+                          std::string* close_reason, int* batch_words) {
+  *batch_words = 0;
   Frame hello;
   switch (read_frame(conn, session_id, reader, options_.handshake_timeout_seconds, &hello)) {
     case ReadStatus::kFrame:
@@ -313,15 +322,23 @@ bool SulServer::handshake(TcpConn& conn, long session_id, FrameReader& reader,
     *close_reason = "protocol_error";
     return false;
   }
-  // Version gate: a legacy (pre-auth) client gets a structured upgrade
-  // notice and a closed socket — never a half-open connection.
-  if (hello.version < kWireVersion) {
+  // Version gate: a legacy (pre-auth) v1 client gets a structured upgrade
+  // notice and a closed socket — never a half-open connection. v2 clients
+  // are served per-symbol; a v3 hello may additionally offer a batch
+  // capacity, granted below and echoed in the hello-ack.
+  if (hello.version < kMinServedVersion) {
     send_control(conn, session_id, FrameType::kClose, kReasonUpgradeRequired, hello.epoch,
                  hello.seq);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.upgrade_rejects;
     *close_reason = kReasonUpgradeRequired;
     return false;
+  }
+  if (hello.version >= 3) {
+    const int offered = parse_batch_token(hello.payload);
+    if (offered > 0) {
+      *batch_words = std::min(offered, kDefaultBatchWords);
+    }
   }
 
   // The final hello-ack answers the last client frame of the handshake — the
@@ -367,7 +384,10 @@ bool SulServer::handshake(TcpConn& conn, long session_id, FrameReader& reader,
     ack_seq = auth.seq;
   }
 
-  send_control(conn, session_id, FrameType::kHelloAck, profile_.name, ack_epoch, ack_seq);
+  // The ack payload is exactly the profile name for v2 clients; a granted
+  // batch offer rides as a " batch=N" suffix the v3 client strips back off.
+  send_control(conn, session_id, FrameType::kHelloAck,
+               with_batch_token(profile_.name, *batch_words), ack_epoch, ack_seq);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.sessions_authenticated;
   if (static_cast<std::size_t>(session_id) < sessions_.size()) {
@@ -376,12 +396,56 @@ bool SulServer::handshake(TcpConn& conn, long session_id, FrameReader& reader,
   return true;
 }
 
-std::string SulServer::session_loop(TcpConn& conn, long session_id, FrameReader& reader) {
+std::string SulServer::session_loop(TcpConn& conn, long session_id, FrameReader& reader,
+                                    int batch_words) {
   // The SUL exists only for an authenticated session — a rejected handshake
   // can never have touched stack state.
   learner::UeSul sul(profile_);
   const auto session_started = Clock::now();
   auto last_activity = Clock::now();
+
+  // Word-execution state (wire v3): the inputs applied to `sul` since its
+  // last reset, with their outputs. A batch sorted into prefix order makes
+  // consecutive words share prefixes, so a word whose predecessor is a full
+  // prefix continues stepping from the live state instead of resetting —
+  // that's the reset amortization the prefix_hits counter measures.
+  std::vector<std::string> exec_inputs;
+  std::vector<std::string> exec_outputs;
+  bool exec_valid = false;  // sul state == initial state + exec_inputs applied
+
+  auto run_word = [&](const std::vector<std::string>& word, long* resets_done,
+                      long* steps_done, long* prefix_continuations) {
+    std::size_t keep = 0;
+    if (exec_valid && exec_inputs.size() <= word.size() &&
+        std::equal(exec_inputs.begin(), exec_inputs.end(), word.begin())) {
+      keep = exec_inputs.size();
+    } else {
+      sul.reset();
+      ++*resets_done;
+      exec_inputs.clear();
+      exec_outputs.clear();
+      exec_valid = true;
+    }
+    if (keep > 0) ++*prefix_continuations;
+    std::vector<std::string> outputs(exec_outputs.begin(),
+                                     exec_outputs.begin() + static_cast<std::ptrdiff_t>(keep));
+    for (std::size_t i = keep; i < word.size(); ++i) {
+      std::string out = sul.step(word[i]);
+      ++*steps_done;
+      exec_inputs.push_back(word[i]);
+      exec_outputs.push_back(out);
+      outputs.push_back(std::move(out));
+    }
+    return outputs;
+  };
+
+  // Malformed or oversized v3 payloads get a structured per-request refusal;
+  // the session survives — a refused request touched no SUL state.
+  auto refuse = [&](const Frame& req, const char* reason) {
+    send_control(conn, session_id, FrameType::kError, reason, req.epoch, req.seq);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batch_refusals;
+  };
 
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return "server_stop";
@@ -430,12 +494,15 @@ std::string SulServer::session_loop(TcpConn& conn, long session_id, FrameReader&
     last_activity = Clock::now();
 
     const bool is_app_request =
-        req.type == FrameType::kReset || req.type == FrameType::kStep;
+        req.type == FrameType::kReset || req.type == FrameType::kStep ||
+        req.type == FrameType::kQueryWord || req.type == FrameType::kQueryBatch;
 
-    // Drain: the next word boundary (a reset) is where an in-flight word is
-    // provably finished — close there with a structured reason instead of
-    // starting another word.
-    if (draining && req.type == FrameType::kReset) {
+    // Drain: the next word boundary is where an in-flight word is provably
+    // finished — for the per-symbol protocol that's the next reset, for the
+    // word protocol every word/batch frame *is* a boundary. Close there with
+    // a structured reason instead of starting another word.
+    if (draining && (req.type == FrameType::kReset || req.type == FrameType::kQueryWord ||
+                     req.type == FrameType::kQueryBatch)) {
       send_control(conn, session_id, FrameType::kClose, kReasonDrained, req.epoch, req.seq);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.drained_closes;
@@ -473,6 +540,18 @@ std::string SulServer::session_loop(TcpConn& conn, long session_id, FrameReader&
       }
     }
 
+    // Per-request execution tallies: quota/kill accounting runs in logical
+    // reset+step units (a word costs 1 + its length regardless of how many
+    // resets the prefix-sorted execution actually saved), while resets_done/
+    // steps_done count the SUL work really performed.
+    long app_cost = 0;
+    long resets_done = 0;
+    long steps_done = 0;
+    long prefix_continuations = 0;
+    long words_served = 0;
+    bool is_word_query = false;
+    bool is_batch_query = false;
+
     Frame ack;
     ack.epoch = req.epoch;
     ack.seq = req.seq;
@@ -480,16 +559,80 @@ std::string SulServer::session_loop(TcpConn& conn, long session_id, FrameReader&
       case FrameType::kHello:
         // A repeated hello inside a live session is harmless: re-ack.
         ack.type = FrameType::kHelloAck;
-        ack.payload = profile_.name;
+        ack.payload = with_batch_token(profile_.name, batch_words);
         break;
       case FrameType::kReset:
         sul.reset();
+        exec_inputs.clear();
+        exec_outputs.clear();
+        exec_valid = true;
+        app_cost = 1;
+        resets_done = 1;
         ack.type = FrameType::kResetAck;
         break;
       case FrameType::kStep:
         ack.type = FrameType::kStepAck;
         ack.payload = sul.step(req.payload);
+        if (exec_valid) {
+          exec_inputs.push_back(req.payload);
+          exec_outputs.push_back(ack.payload);
+        }
+        app_cost = 1;
+        steps_done = 1;
         break;
+      case FrameType::kQueryWord: {
+        const auto word = decode_word(req.payload);
+        if (!word) {
+          refuse(req, kReasonBadWord);
+          continue;
+        }
+        is_word_query = true;
+        app_cost = 1 + static_cast<long>(word->size());
+        ack.type = FrameType::kWordAck;
+        ack.payload =
+            encode_word(run_word(*word, &resets_done, &steps_done, &prefix_continuations));
+        break;
+      }
+      case FrameType::kQueryBatch: {
+        const std::size_t cap =
+            batch_words > 0 ? static_cast<std::size_t>(batch_words)
+                            : static_cast<std::size_t>(kDefaultBatchWords);
+        const auto words = decode_batch(req.payload, kMaxBatchWords);
+        if (!words || words->size() > cap) {
+          // Distinguish "too large" from "malformed" for the structured
+          // refusal even when decoding bailed early: separator counts bound
+          // the item/symbol totals without trusting the payload.
+          const std::size_t semis = static_cast<std::size_t>(
+              std::count(req.payload.begin(), req.payload.end(), ';'));
+          const std::size_t commas = static_cast<std::size_t>(
+              std::count(req.payload.begin(), req.payload.end(), ','));
+          const bool too_large = (words && words->size() > cap) || semis + 1 > cap ||
+                                 semis + commas + 1 > kMaxBatchSymbols;
+          refuse(req, too_large ? kReasonBatchTooLarge : kReasonBadBatch);
+          continue;
+        }
+        is_batch_query = true;
+        words_served = static_cast<long>(words->size());
+        // Prefix-sorted execution: lexicographic order lands every word right
+        // after its longest batched prefix, so run_word continues stepping
+        // instead of resetting. Acks go back in the *request* order.
+        std::vector<std::size_t> order(words->size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+          return (*words)[a] < (*words)[b];
+        });
+        std::vector<BatchItem> items(words->size());
+        for (const std::size_t idx : order) {
+          BatchItem& item = items[idx];
+          item.ok = true;
+          item.outputs =
+              run_word((*words)[idx], &resets_done, &steps_done, &prefix_continuations);
+          app_cost += 1 + static_cast<long>((*words)[idx].size());
+        }
+        ack.type = FrameType::kBatchAck;
+        ack.payload = encode_batch_ack(items);
+        break;
+      }
       case FrameType::kPing:
         ack.type = FrameType::kPong;
         break;
@@ -513,23 +656,35 @@ std::string SulServer::session_loop(TcpConn& conn, long session_id, FrameReader&
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (req.type == FrameType::kPing) ++stats_.pings;
       if (is_app_request) {
-        ++stats_.requests;
         SessionStats& s = sessions_[static_cast<std::size_t>(session_id)];
-        ++s.requests;
-        if (req.type == FrameType::kReset) {
-          ++stats_.resets;
-          ++s.resets;
+        const long pre = options_.kill_session < 0 ? stats_.requests : s.requests;
+        stats_.requests += app_cost;
+        s.requests += app_cost;
+        stats_.resets += resets_done;
+        s.resets += resets_done;
+        stats_.steps += steps_done;
+        s.steps += steps_done;
+        stats_.prefix_hits += prefix_continuations;
+        s.prefix_hits += prefix_continuations;
+        if (is_word_query) {
+          ++stats_.word_queries;
+          ++s.word_queries;
         }
-        if (req.type == FrameType::kStep) {
-          ++stats_.steps;
-          ++s.steps;
+        if (is_batch_query) {
+          ++stats_.batch_queries;
+          ++s.batch_queries;
+          stats_.batched_words += words_served;
+          s.batched_words += words_served;
         }
         if (options_.kill_after_requests >= 0) {
-          const long count =
-              options_.kill_session < 0 ? stats_.requests : s.requests;
+          // Threshold crossing, not equality: a word/batch advances the count
+          // by more than one unit, and the kill-at-every-message sweeps need
+          // the hook to fire for *any* threshold inside that request.
+          const long post = pre + app_cost;
           const bool in_scope =
               options_.kill_session < 0 || session_id == options_.kill_session;
-          if (in_scope && count == options_.kill_after_requests) {
+          if (in_scope && pre < options_.kill_after_requests &&
+              options_.kill_after_requests <= post) {
             kill = true;
             ++stats_.kills;
           }

@@ -22,7 +22,16 @@
 //     kClose(auth_failed) before any SUL state exists. A non-loopback
 //     `bind_host` *requires* a PSK (start() refuses otherwise);
 //   * version gating — a legacy v1 hello gets a structured
-//     kClose(upgrade_required), not a silent half-open socket;
+//     kClose(upgrade_required), not a silent half-open socket; v2 per-symbol
+//     clients are served unchanged, and a v3 hello additionally negotiates
+//     the word-batch capacity (DESIGN.md §14) echoed in the hello-ack;
+//   * word-level execution (wire v3) — kQueryWord runs a whole membership
+//     query per frame and kQueryBatch up to the negotiated number of words,
+//     executed in prefix-sorted order so a word that extends the previous
+//     one continues stepping instead of resetting (the prefix_hits counter);
+//     malformed or oversized word/batch payloads get a structured kError
+//     refusal and the session lives on — a refused request touched no SUL
+//     state;
 //   * per-session quotas — query count, received bytes, and wall clock;
 //     tripping one closes that session with a structured reason;
 //   * graceful drain — drain() admits no new sessions (kServerBusy
@@ -114,12 +123,19 @@ struct SulServerStats {
   long reaped_idle = 0;
   long drained_closes = 0;
   long session_errors = 0;   // sessions torn down by an exception (isolated)
-  long requests = 0;         // reset + step frames processed, all sessions
-  long resets = 0;
-  long steps = 0;
+  long requests = 0;         // application requests, in reset+step units
+  long resets = 0;           // SUL resets actually executed
+  long steps = 0;            // SUL steps actually executed
   long pings = 0;
+  long word_queries = 0;     // v3 kQueryWord frames served
+  long batch_queries = 0;    // v3 kQueryBatch frames served
+  long batched_words = 0;    // words carried by those batches
+  long prefix_hits = 0;      // words continued from the previous word's state
+                             // (prefix-sorted execution amortized the reset)
   long framing_errors = 0;   // sessions dropped for mis-framed input
   long protocol_errors = 0;  // well-framed but unexpected frame types
+  long batch_refusals = 0;   // malformed/oversized word or batch payloads
+                             // answered with a structured kError (session lives)
   long kills = 0;            // connections dropped by the kill hook
 };
 
@@ -129,9 +145,13 @@ struct SulServerStats {
 struct SessionStats {
   long id = 0;  // accept order among *admitted* sessions, 0-based
   bool authenticated = false;
-  long requests = 0;
+  long requests = 0;  // reset+step units (a word counts 1 + its length)
   long resets = 0;
   long steps = 0;
+  long word_queries = 0;
+  long batch_queries = 0;
+  long batched_words = 0;
+  long prefix_hits = 0;
   long bytes_in = 0;
   long bytes_out = 0;
   std::string close_reason;
@@ -182,11 +202,14 @@ class SulServer {
   /// a pool worker; never throws out.
   void run_session(std::shared_ptr<TcpConn> conn, long session_id);
   /// Handshake half of run_session. True when the session is admitted to
-  /// the request loop (sets *close_reason on refusal).
+  /// the request loop (sets *close_reason on refusal). A v3 hello may carry
+  /// a "batch=N" offer; the granted per-batch word capacity (0 for v2
+  /// clients) is returned through *batch_words and echoed in the hello-ack.
   bool handshake(TcpConn& conn, long session_id, FrameReader& reader,
-                 std::string* close_reason);
+                 std::string* close_reason, int* batch_words);
   /// Request loop half; returns the close reason.
-  std::string session_loop(TcpConn& conn, long session_id, FrameReader& reader);
+  std::string session_loop(TcpConn& conn, long session_id, FrameReader& reader,
+                           int batch_words);
 
   /// Sends a structured frame (best-effort) and accounts bytes_out.
   void send_control(TcpConn& conn, long session_id, FrameType type,

@@ -69,13 +69,180 @@ std::string_view to_string(FrameType type) {
       return "server_busy";
     case FrameType::kClose:
       return "close";
+    case FrameType::kQueryWord:
+      return "query_word";
+    case FrameType::kWordAck:
+      return "word_ack";
+    case FrameType::kQueryBatch:
+      return "query_batch";
+    case FrameType::kBatchAck:
+      return "batch_ack";
   }
   return "?";
 }
 
 bool known_frame_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kClose);
+         raw <= static_cast<std::uint8_t>(FrameType::kBatchAck);
+}
+
+// ---------------------------------------------------------------------------
+// Word / batch payload codec (wire v3)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool valid_symbol_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || c == '.' || c == '-';
+}
+
+/// Splits `text` into symbols at ','; total and bounds-checked. An empty
+/// text is the empty word (ε), which is valid.
+bool decode_word_into(std::string_view text, std::vector<std::string>* out) {
+  out->clear();
+  if (text.empty()) return true;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != ',') {
+      if (!valid_symbol_char(text[i])) return false;
+      continue;
+    }
+    const std::size_t len = i - start;
+    if (len == 0 || len > kMaxSymbolChars) return false;
+    if (out->size() >= kMaxWordSymbols) return false;
+    out->emplace_back(text.substr(start, len));
+    start = i + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_word(const std::vector<std::string>& word) {
+  std::string out;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) out += ',';
+    out += word[i];
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> decode_word(std::string_view text) {
+  std::vector<std::string> word;
+  if (!decode_word_into(text, &word)) return std::nullopt;
+  return word;
+}
+
+std::string encode_batch(const std::vector<std::vector<std::string>>& words) {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out += ';';
+    out += encode_word(words[i]);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<std::string>>> decode_batch(std::string_view text,
+                                                                  std::size_t max_words) {
+  std::vector<std::vector<std::string>> words;
+  const std::size_t cap = max_words == 0 || max_words > kMaxBatchWords ? kMaxBatchWords
+                                                                       : max_words;
+  std::size_t total_symbols = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != ';') continue;
+    if (words.size() >= cap) return std::nullopt;
+    std::vector<std::string> word;
+    if (!decode_word_into(text.substr(start, i - start), &word)) return std::nullopt;
+    // An empty item is only meaningful as the single ε word of a one-item
+    // batch; ";;" runs are malformed.
+    if (word.empty() && text.size() > 0) return std::nullopt;
+    total_symbols += word.size();
+    if (total_symbols > kMaxBatchSymbols) return std::nullopt;
+    words.push_back(std::move(word));
+    start = i + 1;
+  }
+  if (words.empty()) return std::nullopt;
+  return words;
+}
+
+std::string encode_batch_ack(const std::vector<BatchItem>& items) {
+  // Per-item status prefix: '+' carries outputs, '!' carries a reason token.
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ';';
+    if (items[i].ok) {
+      out += '+';
+      out += encode_word(items[i].outputs);
+    } else {
+      out += '!';
+      for (char c : items[i].error) out += valid_symbol_char(c) ? c : '_';
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<BatchItem>> decode_batch_ack(std::string_view text,
+                                                       std::size_t max_words) {
+  std::vector<BatchItem> items;
+  const std::size_t cap = max_words == 0 || max_words > kMaxBatchWords ? kMaxBatchWords
+                                                                       : max_words;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != ';') continue;
+    if (items.size() >= cap) return std::nullopt;
+    std::string_view item = text.substr(start, i - start);
+    if (item.empty()) return std::nullopt;
+    BatchItem decoded;
+    if (item[0] == '+') {
+      decoded.ok = true;
+      if (!decode_word_into(item.substr(1), &decoded.outputs)) return std::nullopt;
+    } else if (item[0] == '!') {
+      decoded.ok = false;
+      std::string_view reason = item.substr(1);
+      if (reason.empty() || reason.size() > kMaxSymbolChars) return std::nullopt;
+      for (char c : reason) {
+        if (!valid_symbol_char(c)) return std::nullopt;
+      }
+      decoded.error.assign(reason);
+    } else {
+      return std::nullopt;
+    }
+    items.push_back(std::move(decoded));
+    start = i + 1;
+  }
+  if (items.empty()) return std::nullopt;
+  return items;
+}
+
+std::string with_batch_token(const std::string& base, int batch_words) {
+  if (batch_words <= 0) return base;
+  return base + " batch=" + std::to_string(batch_words);
+}
+
+int parse_batch_token(std::string_view payload) {
+  const std::string_view token = " batch=";
+  const std::size_t at = payload.rfind(token);
+  if (at == std::string_view::npos) return 0;
+  std::string_view digits = payload.substr(at + token.size());
+  if (digits.empty() || digits.size() > 4) return 0;
+  int value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + (c - '0');
+  }
+  if (value <= 0) return 0;
+  return value > static_cast<int>(kMaxBatchWords) ? static_cast<int>(kMaxBatchWords) : value;
+}
+
+std::string strip_batch_token(std::string_view payload) {
+  const std::string_view token = " batch=";
+  const std::size_t at = payload.rfind(token);
+  if (at == std::string_view::npos || parse_batch_token(payload) == 0) {
+    return std::string(payload);
+  }
+  return std::string(payload.substr(0, at));
 }
 
 std::string auth_mac(const std::string& psk, const std::string& nonce_hex,

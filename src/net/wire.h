@@ -27,27 +27,43 @@
 // hello → [challenge → auth_response] → hello_ack, plus the structured
 // admission/teardown frames (server_busy, close) whose payload is a reason
 // token from the kReason* set below.
+//
+// v3 adds the word-level batched query frames (DESIGN.md §14):
+// query_word/word_ack ship a whole membership query (reset + word) in one
+// round trip; query_batch/batch_ack ship up to a negotiated number of words
+// per round trip with per-item status. Batch capacity is negotiated in the
+// hello exchange ("batch=N" suffixes on the hello payload / hello-ack);
+// v2 clients that never offer a batch keep working unchanged.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 
 namespace procheck::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x50C5;
-/// Current protocol generation: v2 = authenticated multi-session handshake.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// Current protocol generation: v3 = word-level batched queries on top of
+/// the v2 authenticated multi-session handshake.
+inline constexpr std::uint8_t kWireVersion = 3;
+/// Oldest version a server still *serves* (v2 per-symbol sessions keep
+/// working; only the pre-auth v1 hello is refused with upgrade_required).
+inline constexpr std::uint8_t kMinServedVersion = 2;
 /// Oldest version the decoder still *parses* (so the server can answer a v1
 /// hello with a structured upgrade-required close rather than mis-framing).
 inline constexpr std::uint8_t kMinWireVersion = 1;
 /// Fixed body bytes besides the payload (magic..seq + trailing CRC).
 inline constexpr std::size_t kFrameOverhead = 16;
-/// Payload bound: symbols and error strings are short; anything bigger is a
-/// corrupted length prefix and must not drive allocation.
-inline constexpr std::size_t kMaxFramePayload = 4096;
+/// Payload bound: symbols, error strings, and (since v3) batched words are
+/// short; anything bigger is a corrupted length prefix and must not drive
+/// allocation. Sized so a maximal batch ack (kMaxBatchSymbols output symbols
+/// of kMaxSymbolChars each, plus separators and status bytes) always fits —
+/// the server never has to truncate a reply it already computed.
+inline constexpr std::size_t kMaxFramePayload = 16384;
 
 enum class FrameType : std::uint8_t {
   kHello = 1,     // client → server: open a session (payload: client note)
@@ -64,10 +80,61 @@ enum class FrameType : std::uint8_t {
   kAuthResponse,  // client → server: HMAC over nonce+epoch (payload: hex mac)
   kServerBusy,    // server → client: admission rejected (payload: reason)
   kClose,         // server → client: structured session teardown (reason)
+  kQueryWord,     // client → server: whole word = reset + symbols (payload)
+  kWordAck,       // server → client: the word's output symbols (payload)
+  kQueryBatch,    // client → server: up to the negotiated number of words
+  kBatchAck,      // server → client: per-item outputs or per-item refusal
 };
 
 std::string_view to_string(FrameType type);
 bool known_frame_type(std::uint8_t raw);
+
+// --- Word / batch payload codec (wire v3, DESIGN.md §14) ---------------------
+// Words are symbol lists over the learning alphabet; symbols are short
+// identifier-like tokens ([A-Za-z0-9_.-]), so ',' separates symbols within a
+// word and ';' separates words within a batch. The decoders are total and
+// length-bounded: a payload with too many symbols, oversized symbols, or any
+// separator/illegal byte inside a symbol is a structured decode failure —
+// never an allocation driven by attacker-controlled counts.
+
+/// Hard per-word and per-batch codec bounds (the negotiated batch size can
+/// only be lower). Chosen so a full batch of worst-case words still fits
+/// kMaxFramePayload.
+inline constexpr std::size_t kMaxWordSymbols = 64;
+inline constexpr std::size_t kMaxSymbolChars = 48;
+inline constexpr std::size_t kMaxBatchWords = 64;
+/// Total symbols across one batch, so the worst-case ack stays well under
+/// kMaxFramePayload: kMaxBatchSymbols * (kMaxSymbolChars + 1) + kMaxBatchWords
+/// status/separator bytes < 16 KiB.
+inline constexpr std::size_t kMaxBatchSymbols = 256;
+/// Default batch capacity a server grants when the client offers more.
+inline constexpr int kDefaultBatchWords = 16;
+
+std::string encode_word(const std::vector<std::string>& word);
+std::optional<std::vector<std::string>> decode_word(std::string_view text);
+
+std::string encode_batch(const std::vector<std::vector<std::string>>& words);
+std::optional<std::vector<std::vector<std::string>>> decode_batch(std::string_view text,
+                                                                  std::size_t max_words);
+
+/// One kBatchAck entry: the item's outputs, or a structured per-item refusal.
+struct BatchItem {
+  bool ok = false;
+  std::vector<std::string> outputs;  // valid when ok
+  std::string error;                 // reason token when !ok
+};
+
+std::string encode_batch_ack(const std::vector<BatchItem>& items);
+std::optional<std::vector<BatchItem>> decode_batch_ack(std::string_view text,
+                                                       std::size_t max_words);
+
+/// "name batch=N" suffix handling for the hello negotiation: appends the
+/// offer/grant to a hello or hello-ack payload, and parses it back out.
+/// parse returns 0 when no batch token is present (a v2 peer).
+std::string with_batch_token(const std::string& base, int batch_words);
+int parse_batch_token(std::string_view payload);
+/// The payload with any " batch=N" suffix removed (the profile name / note).
+std::string strip_batch_token(std::string_view payload);
 
 // Reason tokens carried by kServerBusy / kClose payloads. Machine-matchable
 // (the client surfaces them verbatim in stats and CLI diagnostics).
@@ -82,6 +149,11 @@ inline constexpr const char* kReasonQuotaWall = "quota_exceeded: wall_clock";
 inline constexpr const char* kReasonIdleTimeout = "idle_timeout";
 inline constexpr const char* kReasonDrained = "drained";
 inline constexpr const char* kReasonSessionError = "session_error";
+// Per-request refusal tokens for v3 word/batch queries (kError payloads; the
+// session survives them — a refused request mutated no SUL state).
+inline constexpr const char* kReasonBadWord = "bad_word";
+inline constexpr const char* kReasonBadBatch = "bad_batch";
+inline constexpr const char* kReasonBatchTooLarge = "batch_too_large";
 
 // --- PSK authentication (DESIGN.md §13) --------------------------------------
 // Challenge/response over the reserved hello payload slot: the server sends a

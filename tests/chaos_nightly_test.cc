@@ -172,5 +172,76 @@ TEST(ChaosNightly, CorruptionStormDegradesStructurallyOrMatches) {
   EXPECT_GT(total_framing, 0) << "corruption never reached a client";
 }
 
+// Satellite (f): the wire-v3 batched word protocol under the full nightly
+// storm — connection resets at the 0.1 floor *and* corruption at the 0.2
+// floor at once, with the batch window pipelining frames into the blender.
+// A killed connection mid-pipeline drops a whole in-flight window; the
+// contract is the usual honesty one, plus that batching itself keeps
+// engaging across reconnects (the hello re-negotiates the grant every time).
+TEST(ChaosNightly, BatchedStormIsHonestAndKeepsNegotiating) {
+  REQUIRE_NIGHTLY();
+  std::string reference;
+  {
+    learner::UeSul sul(ue::StackProfile::cls());
+    reference = fsm_text(learner::learn_mealy(sul, quick_learn_options()));
+  }
+
+  SulServerOptions sopts;
+  sopts.max_sessions = 32;
+  sopts.poll_seconds = 0.01;
+  SulServer server(ue::StackProfile::cls(), sopts);
+  ASSERT_TRUE(server.start());
+  ChaosProxyOptions popts;
+  popts.upstream_port = server.port();
+  popts.faults.reset = 0.1;     // nightly floor: kill whole pipeline windows
+  popts.faults.corrupt = 0.2;   // nightly floor: poison batch acks in flight
+  popts.faults.fragment = 0.05;
+  ChaosProxy proxy(popts);
+  ASSERT_TRUE(proxy.start());
+
+  constexpr int kClients = 2;
+  std::vector<learner::LearnResult> results(kClients);
+  std::vector<RemoteSulStats> stats(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      RemoteSulOptions copts = client_options(proxy.port());
+      copts.max_batch_words = kDefaultBatchWords;  // the batched regime, explicitly
+      copts.max_inflight_batches = 4;
+      RemoteUeSul remote(copts);
+      results[static_cast<std::size_t>(i)] =
+          learner::learn_mealy(remote, quick_learn_options());
+      stats[static_cast<std::size_t>(i)] = remote.stats();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  proxy.stop();
+
+  EXPECT_GT(proxy.stats().resets, 0) << "reset regime never fired";
+  EXPECT_GT(proxy.stats().corrupted, 0) << "corruption regime never fired";
+  long total_batches = 0;
+  for (int i = 0; i < kClients; ++i) {
+    const learner::LearnResult& r = results[static_cast<std::size_t>(i)];
+    if (r.inconclusive) {
+      EXPECT_FALSE(r.converged) << "learner " << i;
+    } else {
+      EXPECT_EQ(fsm_text(r), reference) << "learner " << i << " silently diverged";
+    }
+    total_batches += stats[static_cast<std::size_t>(i)].batch_queries;
+  }
+  EXPECT_GT(total_batches, 0) << "the storm starved the batch path entirely";
+
+  // Liveness after the storm, over the batched protocol as well.
+  {
+    RemoteUeSul remote(client_options(server.port()));
+    learner::LearnResult clean = learner::learn_mealy(remote, quick_learn_options());
+    ASSERT_FALSE(clean.inconclusive) << clean.note;
+    EXPECT_EQ(fsm_text(clean), reference);
+    EXPECT_GT(remote.stats().batch_queries, 0);
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().session_errors, 0);
+}
+
 }  // namespace
 }  // namespace procheck::net

@@ -214,7 +214,87 @@ std::vector<net::Frame> frame_corpus() {
   f.type = net::FrameType::kError;
   f.payload = std::string(512, 'x');  // a fat diagnostic
   corpus.push_back(f);
+  // Wire v3 word/batch shapes: a whole-word query, a multi-word batch (with
+  // a duplicate and a prefix chain), and a mixed-status batch ack.
+  f.type = net::FrameType::kQueryWord;
+  f.epoch = 2;
+  f.seq = 9;
+  f.payload = net::encode_word({"power_on", "authentication_request", "security_mode_command"});
+  corpus.push_back(f);
+  f.type = net::FrameType::kQueryBatch;
+  f.payload = net::encode_batch({{"power_on"},
+                                 {"power_on"},
+                                 {"power_on", "authentication_request"},
+                                 {"paging", "detach_request"}});
+  corpus.push_back(f);
+  f.type = net::FrameType::kBatchAck;
+  f.payload = net::encode_batch_ack([] {
+    std::vector<net::BatchItem> items(3);
+    items[0].ok = true;
+    items[0].outputs = {"attach_request"};
+    items[1].ok = false;
+    items[1].error = net::kReasonBadWord;
+    items[2].ok = true;
+    items[2].outputs = {"attach_request", "authentication_response"};
+    return items;
+  }());
+  corpus.push_back(f);
   return corpus;
+}
+
+TEST(FuzzSmoke, BatchPayloadCodecsTotalAndRoundTrip) {
+  // The v3 payload codecs under the same mutation pressure as the frame
+  // layer: decode is total, and whatever it accepts re-encodes to the same
+  // value (otherwise the server could ack a batch the client never sent).
+  Rng rng(0xBA7C4C0DECULL);
+  const std::vector<std::string> seeds = {
+      net::encode_word({"power_on", "authentication_request"}),
+      net::encode_batch({{"power_on"}, {"power_on", "paging"}, {"detach_request"}}),
+      net::encode_batch_ack([] {
+        std::vector<net::BatchItem> items(2);
+        items[0].ok = true;
+        items[0].outputs = {"null", "attach_request"};
+        items[1].ok = false;
+        items[1].error = net::kReasonBadBatch;
+        return items;
+      }()),
+  };
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 3000; ++round) {
+    std::string text = seeds[rng.next_below(seeds.size())];
+    std::uint64_t depth = 1 + rng.next_below(3);
+    for (std::uint64_t d = 0; d < depth; ++d) {
+      Bytes bytes(text.begin(), text.end());
+      bytes = mutate_bytes(bytes, rng);
+      text.assign(bytes.begin(), bytes.end());
+    }
+
+    bool ok = false;
+    if (auto word = net::decode_word(text)) {
+      EXPECT_EQ(net::decode_word(net::encode_word(*word)), *word);
+      ok = true;
+    }
+    if (auto batch = net::decode_batch(text, net::kMaxBatchWords)) {
+      EXPECT_EQ(net::decode_batch(net::encode_batch(*batch), net::kMaxBatchWords), *batch);
+      ok = true;
+    }
+    if (auto ack = net::decode_batch_ack(text, net::kMaxBatchWords)) {
+      auto again = net::decode_batch_ack(net::encode_batch_ack(*ack), net::kMaxBatchWords);
+      ASSERT_TRUE(again.has_value());
+      ASSERT_EQ(again->size(), ack->size());
+      for (std::size_t i = 0; i < ack->size(); ++i) {
+        EXPECT_EQ((*again)[i].ok, (*ack)[i].ok);
+        EXPECT_EQ((*again)[i].outputs, (*ack)[i].outputs);
+        EXPECT_EQ((*again)[i].error, (*ack)[i].error);
+      }
+      ok = true;
+    }
+    (ok ? accepted : rejected) += 1;
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::printf("[fuzz] batch codec: %zu accepted, %zu rejected\n", accepted, rejected);
 }
 
 TEST(FuzzSmoke, WireFrameDecodeTotalAndRoundTrips) {
@@ -490,6 +570,122 @@ TEST(FuzzSmoke, MutatedHandshakesNeverCrashOrAuthenticate) {
   std::printf("[fuzz] handshake: %zu refusals, %zu authenticated, %zu busy, "
               "%ld server auth failures\n",
               refusals, legit, busy, stats.auth_failures);
+}
+
+// Satellite: structure-aware mutation of v3 batch queries against a *live*
+// admitted session. The contract under fuzz: every kQueryBatch — valid-ish,
+// mutated, or deliberately oversized — is answered with a kBatchAck or a
+// structured kError refusal; the session is never corrupted (a clean probe
+// word keeps answering correctly between mutations) and never crashes.
+TEST(FuzzSmoke, MutatedBatchQueriesNeverCrashOrCorruptSession) {
+  net::SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+
+  auto conn = net::TcpConn::connect("127.0.0.1", server.port(), 1.0);
+  ASSERT_TRUE(conn.has_value());
+  net::FrameReader reader;
+  net::Frame hello;
+  hello.type = net::FrameType::kHello;
+  hello.epoch = 1;
+  hello.seq = 1;
+  hello.payload = net::with_batch_token("fuzz-client", 8);
+  ASSERT_TRUE(handshake::send_bytes(*conn, net::encode_frame(hello)));
+  auto ack = handshake::read_one(*conn, reader);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, net::FrameType::kHelloAck);
+  ASSERT_EQ(net::parse_batch_token(ack->payload), 8);
+
+  // The clean probe the session must keep answering correctly: cls boots
+  // with an attach_request and answers the auth challenge.
+  const std::vector<std::string> probe = {"power_on", "authentication_request"};
+  const std::vector<std::string> probe_expect = {"attach_request", "authentication_response"};
+
+  const std::vector<std::string> seeds = {
+      net::encode_batch({{"power_on"}, {"power_on", "authentication_request"}}),
+      net::encode_batch({{"paging"}, {"paging"}, {"detach_request", "power_on"}}),
+      net::encode_batch({{"power_on", "identity_request"}}),
+      std::string(),  // the one-item epsilon batch
+  };
+
+  Rng rng(0xBA7C11FEULL);
+  std::uint32_t seq = 1;
+  std::size_t acked = 0;
+  std::size_t refused = 0;
+  std::size_t oversized_refusals = 0;
+
+  for (int round = 0; round < 300; ++round) {
+    std::string payload;
+    bool oversized = false;
+    const std::uint64_t mode = rng.next_below(4);
+    if (mode == 3) {
+      // Deliberately over the negotiated 8-word grant (sometimes over the
+      // hard kMaxBatchWords bound too): must refuse as batch_too_large.
+      const std::uint64_t n = 9 + rng.next_below(70);
+      std::vector<std::vector<std::string>> words;
+      for (std::uint64_t i = 0; i < n; ++i) words.push_back({"paging"});
+      payload = net::encode_batch(words);
+      oversized = true;
+    } else {
+      payload = seeds[rng.next_below(seeds.size())];
+      std::uint64_t depth = rng.next_below(3);  // depth 0 = pristine seed
+      for (std::uint64_t d = 0; d < depth; ++d) {
+        Bytes bytes(payload.begin(), payload.end());
+        bytes = mutate_bytes(bytes, rng);
+        payload.assign(bytes.begin(), bytes.end());
+        if (payload.size() > net::kMaxFramePayload) payload.resize(64);
+      }
+    }
+
+    net::Frame batch;
+    batch.type = net::FrameType::kQueryBatch;
+    batch.epoch = 1;
+    batch.seq = ++seq;
+    batch.payload = payload;
+    ASSERT_TRUE(handshake::send_bytes(*conn, net::encode_frame(batch))) << "round " << round;
+    auto reply = handshake::read_one(*conn, reader);
+    ASSERT_TRUE(reply.has_value()) << "round " << round << ": no structured reply";
+    if (reply->type == net::FrameType::kBatchAck) {
+      ASSERT_FALSE(oversized) << "round " << round << ": oversized batch was served";
+      auto items = net::decode_batch_ack(reply->payload, 8);
+      ASSERT_TRUE(items.has_value()) << "round " << round << ": ack does not decode";
+      ++acked;
+    } else {
+      ASSERT_EQ(reply->type, net::FrameType::kError) << "round " << round;
+      EXPECT_TRUE(reply->payload == net::kReasonBadBatch ||
+                  reply->payload == net::kReasonBatchTooLarge)
+          << "round " << round << ": " << reply->payload;
+      if (oversized) {
+        EXPECT_EQ(reply->payload, net::kReasonBatchTooLarge) << "round " << round;
+        ++oversized_refusals;
+      }
+      ++refused;
+    }
+
+    // Every 25 rounds: the admitted session must still answer the clean
+    // probe correctly — refusals and mutations corrupt no SUL state.
+    if (round % 25 == 0) {
+      net::Frame word;
+      word.type = net::FrameType::kQueryWord;
+      word.epoch = 1;
+      word.seq = ++seq;
+      word.payload = net::encode_word(probe);
+      ASSERT_TRUE(handshake::send_bytes(*conn, net::encode_frame(word)));
+      auto answer = handshake::read_one(*conn, reader);
+      ASSERT_TRUE(answer.has_value()) << "round " << round;
+      ASSERT_EQ(answer->type, net::FrameType::kWordAck) << "round " << round;
+      EXPECT_EQ(net::decode_word(answer->payload), probe_expect) << "round " << round;
+    }
+  }
+
+  server.stop();
+  const net::SulServerStats stats = server.stats();
+  EXPECT_EQ(stats.session_errors, 0) << "a mutated batch killed the session";
+  EXPECT_GT(acked, 0u) << "the mutator starved the server of valid batches";
+  EXPECT_GT(refused, 0u) << "the mutator never produced a refusable batch";
+  EXPECT_GT(oversized_refusals, 0u);
+  EXPECT_EQ(stats.batch_refusals, static_cast<long>(refused));
+  std::printf("[fuzz] batch queries: %zu acked, %zu refused (%zu oversized)\n", acked, refused,
+              oversized_refusals);
 }
 
 // --- Log-parser fuzz --------------------------------------------------------

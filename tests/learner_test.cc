@@ -1,10 +1,15 @@
 // Black-box L* learner tests: the SUL harness determinism, the learned
-// Mealy machine's behavior, and the paper's §VIII comparison claims (high
-// query cost; no state names; no predicate conditions).
+// Mealy machine's behavior, the prefix-tree query cache and batched
+// observation-table rounds (DESIGN.md §14), and the paper's §VIII comparison
+// claims (high query cost; no state names; no predicate conditions).
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
 
 #include "common/rng.h"
 #include "learner/lstar.h"
+#include "learner/output_trie.h"
 #include "learner/sul.h"
 
 namespace procheck::learner {
@@ -63,6 +68,134 @@ TEST(MealyMachineTest, RunAndFsmExport) {
   EXPECT_EQ(f.states(), (std::set<std::string>{"q0", "q1"}));
   EXPECT_TRUE(f.actions().count("x"));
   EXPECT_TRUE(f.actions().count(fsm::kNullAction));
+}
+
+// --- Output trie (the prefix-closed membership-query cache) ------------------
+
+TEST(OutputTrie, PrefixesOfInsertedWordsAnswerFree) {
+  OutputTrie trie;
+  trie.insert({"a", "b", "c"}, {"x", "y", "z"});
+
+  // The inserted word itself: an endpoint hit.
+  auto full = trie.lookup({"a", "b", "c"});
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(trie.stats().hits, 1);
+
+  // A proper prefix was never inserted, yet its edges are all known.
+  auto prefix = trie.lookup({"a", "b"});
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(*prefix, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(trie.stats().prefix_hits, 1);
+
+  // Any unknown edge is a miss — sideways or past the end.
+  EXPECT_FALSE(trie.lookup({"a", "d"}).has_value());
+  EXPECT_FALSE(trie.lookup({"a", "b", "c", "d"}).has_value());
+  EXPECT_EQ(trie.stats().misses, 2);
+
+  // contains() and known_prefix_length() are planning reads: no stat churn.
+  const long hits_before = trie.stats().hits;
+  EXPECT_TRUE(trie.contains({"a", "b"}));
+  EXPECT_EQ(trie.known_prefix_length({"a", "b", "q"}), 2u);
+  EXPECT_EQ(trie.known_prefix_length({"q"}), 0u);
+  EXPECT_EQ(trie.stats().hits, hits_before);
+}
+
+TEST(OutputTrie, FirstObservationWinsAndDisagreementIsFlagged) {
+  OutputTrie trie;
+  trie.insert({"a"}, {"x"});
+  // A later word disagreeing on the shared edge: flagged, never applied.
+  trie.insert({"a", "b"}, {"y", "z"});
+  EXPECT_EQ(trie.stats().nondeterministic, 1);
+  auto got = trie.lookup({"a", "b"});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (std::vector<std::string>{"x", "z"}))
+      << "the first-observed edge output must stay stable";
+
+  // A consistent re-insert is free of both flags and new nodes.
+  const std::size_t nodes = trie.node_count();
+  trie.insert({"a", "b"}, {"x", "z"});
+  EXPECT_EQ(trie.stats().nondeterministic, 1);
+  EXPECT_EQ(trie.node_count(), nodes);
+}
+
+TEST(OutputTrie, MismatchedSizesAreIgnored) {
+  OutputTrie trie;
+  trie.insert({"a", "b"}, {"x"});  // outputs too short: ignored
+  EXPECT_FALSE(trie.lookup({"a"}).has_value());
+  EXPECT_EQ(trie.node_count(), 1u);  // still just the root
+}
+
+// --- Batched observation-table rounds ----------------------------------------
+
+/// Forwards to an in-process UeSul while recording every batch the learner
+/// ships, so tests can pin the batching contract (dedupe, prefix subsumption,
+/// byte-identical results).
+class BatchRecordingSul final : public Sul {
+ public:
+  explicit BatchRecordingSul(ue::StackProfile profile) : inner_(std::move(profile)) {}
+
+  void reset() override { inner_.reset(); }
+  std::string step(const std::string& input) override { return inner_.step(input); }
+  long resets() const override { return inner_.resets(); }
+  long steps() const override { return inner_.steps(); }
+
+  std::vector<std::vector<std::string>> query_batch(
+      const std::vector<std::vector<std::string>>& words) override {
+    batches.push_back(words);
+    return Sul::query_batch(words);
+  }
+
+  std::vector<std::vector<std::vector<std::string>>> batches;
+
+ private:
+  UeSul inner_;
+};
+
+TEST(LStar, BatchedRoundsAreByteIdenticalToSequentialLearning) {
+  UeSul plain(ue::StackProfile::cls());
+  LearnResult sequential = learn_mealy(plain);
+  ASSERT_TRUE(sequential.converged);
+
+  BatchRecordingSul recording(ue::StackProfile::cls());
+  LearnResult batched = learn_mealy(recording);
+  ASSERT_TRUE(batched.converged);
+
+  EXPECT_EQ(batched.machine.to_fsm().to_dot("learned"),
+            sequential.machine.to_fsm().to_dot("learned"));
+  EXPECT_EQ(batched.membership_queries, sequential.membership_queries);
+  ASSERT_FALSE(recording.batches.empty());
+  EXPECT_EQ(static_cast<long>(recording.batches.size()), batched.batch_queries);
+
+  // Satellite (a): within every batch the words are deduplicated, and no
+  // word is a prefix of another (the longer word's answer subsumes it).
+  std::set<std::vector<std::string>> ever_sent;
+  long words_shipped = 0;
+  for (const auto& batch : recording.batches) {
+    words_shipped += static_cast<long>(batch.size());
+    std::set<std::vector<std::string>> in_batch;
+    for (const auto& word : batch) {
+      EXPECT_TRUE(in_batch.insert(word).second) << "duplicate word within a batch";
+      EXPECT_TRUE(ever_sent.insert(word).second)
+          << "word re-queried despite the trie cache";
+    }
+    for (const auto& shorter : batch) {
+      for (const auto& longer : batch) {
+        if (shorter.size() < longer.size() &&
+            std::equal(shorter.begin(), shorter.end(), longer.begin())) {
+          ADD_FAILURE() << "batched word is a prefix of a batch sibling";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(words_shipped, batched.batched_words);
+  // The equivalence oracle's cache misses are queried one word at a time, so
+  // the total query count strictly dominates the batched share.
+  EXPECT_LE(words_shipped, batched.membership_queries);
+
+  // The cache did real work: prefix hits answered table cells for free.
+  EXPECT_GT(batched.cache_prefix_hits, 0);
+  EXPECT_EQ(batched.nondeterministic_cached, 0);
 }
 
 TEST(LStar, LearnsTheUeStateMachine) {

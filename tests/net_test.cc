@@ -47,6 +47,14 @@ RemoteSulOptions client_options(std::uint16_t port) {
   return o;
 }
 
+// Same budgets with the word/batch protocol disabled: the client never
+// offers a batch in its hello, so every query walks the v2 per-symbol path.
+RemoteSulOptions per_symbol_options(std::uint16_t port) {
+  RemoteSulOptions o = client_options(port);
+  o.max_batch_words = 0;
+  return o;
+}
+
 learner::LearnOptions quick_learn_options() {
   learner::LearnOptions o;
   o.eq_test_words = 40;  // small but sufficient to converge on cls
@@ -165,6 +173,78 @@ TEST(Wire, ReaderPoisonSticksUntilReset) {
   Decoded d = reader.next();
   ASSERT_EQ(d.status, DecodeStatus::kFrame);
   EXPECT_EQ(d.frame.type, FrameType::kPong);
+}
+
+// --- Word / batch payload codec (wire v3) ------------------------------------
+
+TEST(Wire, WordCodecRoundTripsAndEnforcesBounds) {
+  const std::vector<std::string> word = {"power_on", "authentication_request",
+                                         "security_mode_command"};
+  EXPECT_EQ(decode_word(encode_word(word)), word);
+  EXPECT_EQ(decode_word(encode_word({})), std::vector<std::string>{});
+
+  // Separators and illegal bytes inside a symbol are structured failures.
+  EXPECT_FALSE(decode_word("power_on,,paging").has_value());
+  EXPECT_FALSE(decode_word("power on").has_value());
+  EXPECT_FALSE(decode_word("power_on;paging").has_value());
+
+  // One symbol over kMaxSymbolChars, and one word over kMaxWordSymbols.
+  EXPECT_FALSE(decode_word(std::string(kMaxSymbolChars + 1, 'a')).has_value());
+  std::string too_many;
+  for (std::size_t i = 0; i <= kMaxWordSymbols; ++i) {
+    if (!too_many.empty()) too_many += ',';
+    too_many += 'x';
+  }
+  EXPECT_FALSE(decode_word(too_many).has_value());
+  EXPECT_TRUE(decode_word(std::string(kMaxSymbolChars, 'a')).has_value());
+}
+
+TEST(Wire, BatchCodecRoundTripsAndEnforcesBounds) {
+  const std::vector<std::vector<std::string>> words = {
+      {"power_on"},
+      {"power_on", "authentication_request"},
+      {"paging", "detach_request", "attach_reject"},
+  };
+  EXPECT_EQ(decode_batch(encode_batch(words), kMaxBatchWords), words);
+
+  // The same payload refused once the caller's cap is below the word count.
+  EXPECT_FALSE(decode_batch(encode_batch(words), 2).has_value());
+  // A malformed word inside an otherwise fine batch poisons the whole batch.
+  EXPECT_FALSE(decode_batch("power_on;bad word;paging", kMaxBatchWords).has_value());
+}
+
+TEST(Wire, BatchAckCodecRoundTripsMixedResults) {
+  std::vector<BatchItem> items(3);
+  items[0].ok = true;
+  items[0].outputs = {"null", "authentication_response"};
+  items[1].ok = false;
+  items[1].error = kReasonBadWord;
+  items[2].ok = true;  // empty word → empty outputs
+  std::optional<std::vector<BatchItem>> back =
+      decode_batch_ack(encode_batch_ack(items), items.size());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), items.size());
+  EXPECT_TRUE((*back)[0].ok);
+  EXPECT_EQ((*back)[0].outputs, items[0].outputs);
+  EXPECT_FALSE((*back)[1].ok);
+  EXPECT_EQ((*back)[1].error, kReasonBadWord);
+  EXPECT_TRUE((*back)[2].ok);
+  EXPECT_TRUE((*back)[2].outputs.empty());
+
+  // More items than the request had words → a lying server, refused.
+  EXPECT_FALSE(decode_batch_ack(encode_batch_ack(items), 2).has_value());
+}
+
+TEST(Wire, BatchTokenNegotiationRoundTrips) {
+  EXPECT_EQ(with_batch_token("cls", 16), "cls batch=16");
+  EXPECT_EQ(parse_batch_token("cls batch=16"), 16);
+  EXPECT_EQ(strip_batch_token("cls batch=16"), "cls");
+  // A v2 peer never sends the token: parse yields 0, strip is the identity.
+  EXPECT_EQ(parse_batch_token("cls"), 0);
+  EXPECT_EQ(strip_batch_token("cls"), "cls");
+  EXPECT_EQ(with_batch_token("cls", 0), "cls");
+  // Garbage after "batch=" must not parse into a grant.
+  EXPECT_EQ(parse_batch_token("cls batch=lots"), 0);
 }
 
 // --- Clean loopback transport -------------------------------------------------
@@ -290,7 +370,9 @@ TEST(NetTransport, ReconnectMidWordReplaysAndStaysCorrect) {
   sopts.kill_after_requests = 3;  // dies mid-word, exactly once
   SulServer server(ue::StackProfile::cls(), sopts);
   ASSERT_TRUE(server.start());
-  RemoteUeSul remote(client_options(server.port()));
+  RemoteSulOptions copts = client_options(server.port());
+  copts.max_batch_words = 0;  // pin the per-symbol v2 replay path specifically
+  RemoteUeSul remote(copts);
   learner::UeSul local(ue::StackProfile::cls());
 
   const std::vector<std::string> word = {"power_on", "authentication_request",
@@ -453,7 +535,9 @@ TEST(ChaosProxyNet, InertProxyIsByteTransparent) {
 }
 
 // The acceptance pin: under every *lossless* fault regime, remote learning
-// produces an FSM byte-identical to the clean in-process run.
+// produces an FSM byte-identical to the clean in-process run. Pinned to the
+// v2 per-symbol protocol; BatchedProtocol.LearnByteIdenticalUnderLosslessChaos
+// runs the same regimes over the v3 word/batch path.
 TEST(ChaosProxyNet, LosslessRegimesLearnByteIdentical) {
   learner::UeSul local(ue::StackProfile::cls());
   const std::string clean = fsm_text(learner::learn_mealy(local, quick_learn_options()));
@@ -474,7 +558,7 @@ TEST(ChaosProxyNet, LosslessRegimesLearnByteIdentical) {
     ChaosProxy proxy(proxy_options(server.port(), regime.faults));
     ASSERT_TRUE(proxy.start());
 
-    RemoteUeSul remote(client_options(proxy.port()));
+    RemoteUeSul remote(per_symbol_options(proxy.port()));
     learner::LearnResult result = learner::learn_mealy(remote, quick_learn_options());
     ASSERT_TRUE(result.converged) << regime.name;
     ASSERT_FALSE(result.inconclusive) << regime.name;
@@ -515,6 +599,131 @@ TEST(ChaosProxyNet, ConnectionKillRegimeTerminatesStructured) {
   EXPECT_GT(remote.stats().reconnects + remote.stats().cache_fallbacks, 0);
 }
 
+// --- Batched word protocol (wire v3) ---------------------------------------------
+
+// Satellite (a): identical words inside one query_batch() are shipped to the
+// server exactly once and every duplicate position still gets the answer.
+TEST(BatchedProtocol, QueryBatchDeduplicatesIdenticalWords) {
+  SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+  RemoteUeSul remote(client_options(server.port()));
+  learner::UeSul local(ue::StackProfile::cls());
+
+  const std::vector<std::string> a = {"power_on"};
+  const std::vector<std::string> b = {"power_on", "authentication_request"};
+  const std::vector<std::vector<std::string>> words = {a, b, a, b, a};
+  const std::vector<std::vector<std::string>> answers = remote.query_batch(words);
+  ASSERT_EQ(answers.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(answers[i], local.run(words[i])) << "position " << i;
+  }
+  EXPECT_EQ(remote.stats().batched_words, 2) << "3 duplicates must not hit the wire";
+  EXPECT_EQ(remote.stats().batch_queries, 1);
+  server.stop();
+  EXPECT_EQ(server.stats().batched_words, 2);
+  EXPECT_EQ(server.stats().batch_queries, 1);
+}
+
+// The reset-amortization mechanism itself: a batch carrying a prefix chain
+// executes with one reset, continuing each word from its predecessor.
+TEST(BatchedProtocol, SortedBatchContinuesSharedPrefixesOnServer) {
+  SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+  RemoteUeSul remote(client_options(server.port()));
+  learner::UeSul local(ue::StackProfile::cls());
+
+  // Request order deliberately scrambled: the server sorts into prefix order
+  // for execution but must ack in request order.
+  const std::vector<std::vector<std::string>> words = {
+      {"power_on", "authentication_request", "security_mode_command"},
+      {"power_on"},
+      {"power_on", "authentication_request"},
+  };
+  const std::vector<std::vector<std::string>> answers = remote.query_batch(words);
+  ASSERT_EQ(answers.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(answers[i], local.run(words[i])) << "position " << i;
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().prefix_hits, 2) << "two words should continue the chain";
+  EXPECT_EQ(server.stats().resets, 1) << "a prefix chain needs exactly one reset";
+}
+
+// Satellite (c): batched learning renders byte-identical to the per-symbol
+// remote run and to the in-process run, with the same query schedule.
+TEST(BatchedProtocol, LearnByteIdenticalToPerSymbolAndInProcess) {
+  learner::UeSul local(ue::StackProfile::cls());
+  learner::LearnResult clean = learner::learn_mealy(local, quick_learn_options());
+  ASSERT_TRUE(clean.converged);
+
+  learner::LearnResult per_symbol;
+  {
+    SulServer server(ue::StackProfile::cls());
+    ASSERT_TRUE(server.start());
+    RemoteUeSul remote(per_symbol_options(server.port()));
+    per_symbol = learner::learn_mealy(remote, quick_learn_options());
+    EXPECT_EQ(remote.negotiated_batch_words(), 0);
+    EXPECT_EQ(remote.stats().batch_queries, 0);
+  }
+  ASSERT_TRUE(per_symbol.converged);
+  EXPECT_EQ(fsm_text(per_symbol), fsm_text(clean));
+
+  learner::LearnResult batched;
+  {
+    SulServer server(ue::StackProfile::cls());
+    ASSERT_TRUE(server.start());
+    RemoteUeSul remote(client_options(server.port()));
+    batched = learner::learn_mealy(remote, quick_learn_options());
+    EXPECT_EQ(remote.negotiated_batch_words(), kDefaultBatchWords);
+    EXPECT_GT(remote.stats().batch_queries, 0);
+    EXPECT_GT(remote.stats().batched_words, 0);
+    server.stop();
+    EXPECT_GT(server.stats().batch_queries, 0);
+    EXPECT_EQ(server.stats().batched_words, remote.stats().batched_words);
+  }
+  ASSERT_TRUE(batched.converged);
+  EXPECT_EQ(fsm_text(batched), fsm_text(clean));
+  // The trie cache and dedupe are learner-side and deterministic, so the
+  // query schedule — not just the answer set — is identical transport-free.
+  EXPECT_EQ(batched.membership_queries, clean.membership_queries);
+  EXPECT_EQ(batched.membership_queries, per_symbol.membership_queries);
+  EXPECT_EQ(batched.cache_hits, clean.cache_hits);
+  EXPECT_EQ(batched.cache_prefix_hits, clean.cache_prefix_hits);
+  EXPECT_EQ(batched.nondeterministic_cached, 0);
+}
+
+// Satellite (c): the batched path survives every lossless chaos regime with a
+// byte-identical FSM, exactly like the per-symbol acceptance pin above.
+TEST(BatchedProtocol, LearnByteIdenticalUnderLosslessChaos) {
+  learner::UeSul local(ue::StackProfile::cls());
+  const std::string clean = fsm_text(learner::learn_mealy(local, quick_learn_options()));
+
+  struct Regime {
+    const char* name;
+    ProxyFaultProfile faults;
+  };
+  const Regime regimes[] = {
+      {"delay", {.delay = 0.2}},
+      {"fragment", {.fragment = 0.15}},
+      {"reorder", {.reorder = 0.1}},
+      {"combined", {.delay = 0.1, .fragment = 0.1, .reorder = 0.05}},
+  };
+  for (const Regime& regime : regimes) {
+    SulServer server(ue::StackProfile::cls());
+    ASSERT_TRUE(server.start());
+    ChaosProxy proxy(proxy_options(server.port(), regime.faults));
+    ASSERT_TRUE(proxy.start());
+
+    RemoteUeSul remote(client_options(proxy.port()));
+    learner::LearnResult result = learner::learn_mealy(remote, quick_learn_options());
+    ASSERT_TRUE(result.converged) << regime.name;
+    ASSERT_FALSE(result.inconclusive) << regime.name;
+    EXPECT_EQ(fsm_text(result), clean) << regime.name;
+    EXPECT_GT(remote.stats().batch_queries, 0) << regime.name << ": batching never engaged";
+    EXPECT_GT(proxy.stats().faults(), 0) << regime.name << ": regime never fired";
+  }
+}
+
 // --- Kill-at-every-message sweep -------------------------------------------------
 
 // Satellite (f): for every possible server-crash point k (after the k-th
@@ -522,9 +731,10 @@ TEST(ChaosProxyNet, ConnectionKillRegimeTerminatesStructured) {
 // reconnected remote-conformance run must render byte-identical to the
 // uninterrupted in-process reference. This pins the replay/resync design:
 // no interruption point leaks, duplicates, or reorders an observation.
-TEST(KillSweep, ConformanceByteIdenticalAtEveryKillPoint) {
-  const ue::StackProfile profile = ue::StackProfile::cls();
-
+// Runs once over the v2 per-symbol protocol (each frame is one request) and
+// once over the v3 word protocol (one kQueryWord is 1+len logical requests,
+// so a kill can land mid-word on the server and the whole word replays).
+void kill_sweep(const ue::StackProfile& profile, bool batched) {
   // Reference: clean remote run (== in-process by RemoteConformanceAllPass),
   // plus the total request count R that bounds the sweep.
   std::string reference;
@@ -532,7 +742,8 @@ TEST(KillSweep, ConformanceByteIdenticalAtEveryKillPoint) {
   {
     SulServer server(profile);
     ASSERT_TRUE(server.start());
-    RemoteUeSul remote(client_options(server.port()));
+    RemoteUeSul remote(batched ? client_options(server.port())
+                               : per_symbol_options(server.port()));
     reference = run_remote_conformance(profile, remote).render();
     server.stop();
     total_requests = server.stats().requests;
@@ -546,7 +757,8 @@ TEST(KillSweep, ConformanceByteIdenticalAtEveryKillPoint) {
       sopts.kill_before_reply = before_reply == 1;
       SulServer server(profile, sopts);
       ASSERT_TRUE(server.start());
-      RemoteUeSul remote(client_options(server.port()));
+      RemoteUeSul remote(batched ? client_options(server.port())
+                                 : per_symbol_options(server.port()));
       RemoteConformanceReport report = run_remote_conformance(profile, remote);
       ASSERT_EQ(report.render(), reference)
           << "kill at request " << k << (before_reply ? " (before reply)" : " (after reply)");
@@ -554,6 +766,14 @@ TEST(KillSweep, ConformanceByteIdenticalAtEveryKillPoint) {
       ASSERT_EQ(server.stats().kills, 1) << "kill point " << k << " never fired";
     }
   }
+}
+
+TEST(KillSweep, ConformanceByteIdenticalAtEveryKillPoint) {
+  kill_sweep(ue::StackProfile::cls(), /*batched=*/false);
+}
+
+TEST(KillSweep, WordProtocolByteIdenticalAtEveryKillPoint) {
+  kill_sweep(ue::StackProfile::cls(), /*batched=*/true);
 }
 
 // --- TSan-focused concurrency tests ----------------------------------------------
@@ -581,6 +801,28 @@ TEST(NetTsan, HeartbeatRacesQueryPathCleanly) {
   }
   EXPECT_GT(remote.stats().heartbeats, 0);
   EXPECT_EQ(remote.run(word), expect);  // link still healthy after the pings
+}
+
+TEST(NetTsan, BatchPipelineRacesHeartbeatCleanly) {
+  SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+  RemoteSulOptions opts = client_options(server.port());
+  opts.heartbeat_seconds = 0.005;  // interleave pings with the batch window
+  RemoteUeSul remote(opts);
+  learner::UeSul local(ue::StackProfile::cls());
+
+  std::vector<std::vector<std::string>> words;
+  std::vector<std::vector<std::string>> expect;
+  for (const char* first : {"power_on", "paging", "detach_request"}) {
+    for (const char* second : {"authentication_request", "identity_request"}) {
+      words.push_back({first, second});
+      expect.push_back(local.run(words.back()));
+    }
+  }
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(remote.query_batch(words), expect) << "round " << round;
+  }
+  EXPECT_GT(remote.stats().batch_queries, 0);
 }
 
 TEST(NetTsan, ServerChurnWhileClientQueries) {

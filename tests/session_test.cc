@@ -343,6 +343,155 @@ TEST(Session, LegacyV1HelloGetsStructuredUpgradeClose) {
   EXPECT_EQ(server.stats().upgrade_rejects, 1);
 }
 
+// --- Batched word protocol at the session layer (wire v3) --------------------
+
+// Satellite (a): the RemoteUeSul client dedupes before sending, but the wire
+// contract is that a *server* also tolerates duplicate words inside one
+// kQueryBatch — every duplicate position is answered, identically, and the
+// duplicates execute as prefix continuations (zero extra resets).
+TEST(Session, RawBatchWithDuplicateWordsIsTolerated) {
+  SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+  learner::UeSul local(ue::StackProfile::cls());
+
+  auto conn = TcpConn::connect("127.0.0.1", server.port(), 1.0);
+  ASSERT_TRUE(conn.has_value());
+  FrameReader reader;
+  Frame hello = hello_frame();
+  hello.payload = with_batch_token(hello.payload, 4);
+  ASSERT_TRUE(send_raw(*conn, hello));
+  auto ack = read_raw(*conn, reader);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, FrameType::kHelloAck);
+  EXPECT_EQ(parse_batch_token(ack->payload), 4);
+
+  const std::vector<std::vector<std::string>> words = {
+      {"power_on"},
+      {"power_on"},
+      {"power_on", "authentication_request"},
+  };
+  Frame batch;
+  batch.type = FrameType::kQueryBatch;
+  batch.epoch = 1;
+  batch.seq = 2;
+  batch.payload = encode_batch(words);
+  ASSERT_TRUE(send_raw(*conn, batch));
+  auto reply = read_raw(*conn, reader);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, FrameType::kBatchAck);
+  auto items = decode_batch_ack(reply->payload, words.size());
+  ASSERT_TRUE(items.has_value());
+  ASSERT_EQ(items->size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_TRUE((*items)[i].ok) << "position " << i << ": " << (*items)[i].error;
+    EXPECT_EQ((*items)[i].outputs, local.run(words[i])) << "position " << i;
+  }
+
+  server.stop();
+  EXPECT_EQ(server.stats().batched_words, 3);
+  EXPECT_EQ(server.stats().resets, 1) << "duplicates and extensions continue one chain";
+  EXPECT_EQ(server.stats().prefix_hits, 2);
+  EXPECT_EQ(server.stats().batch_refusals, 0);
+}
+
+// A malformed or over-cap batch is refused with a *structured* kError whose
+// reason names the problem — and the session survives it untouched.
+TEST(Session, OversizedAndMalformedBatchesGetStructuredRefusal) {
+  SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+  learner::UeSul local(ue::StackProfile::cls());
+
+  auto conn = TcpConn::connect("127.0.0.1", server.port(), 1.0);
+  ASSERT_TRUE(conn.has_value());
+  FrameReader reader;
+  Frame hello = hello_frame();
+  hello.payload = with_batch_token(hello.payload, 2);  // tiny negotiated cap
+  ASSERT_TRUE(send_raw(*conn, hello));
+  auto ack = read_raw(*conn, reader);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, FrameType::kHelloAck);
+  ASSERT_EQ(parse_batch_token(ack->payload), 2);
+
+  // Three words through a two-word grant: refused as too large.
+  Frame over;
+  over.type = FrameType::kQueryBatch;
+  over.epoch = 1;
+  over.seq = 2;
+  over.payload = "power_on;paging;detach_request";
+  ASSERT_TRUE(send_raw(*conn, over));
+  auto refusal = read_raw(*conn, reader);
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->type, FrameType::kError);
+  EXPECT_EQ(refusal->payload, kReasonBatchTooLarge);
+
+  // A batch whose words don't decode: refused as malformed.
+  Frame bad;
+  bad.type = FrameType::kQueryBatch;
+  bad.epoch = 1;
+  bad.seq = 3;
+  bad.payload = "power_on;not a symbol";
+  ASSERT_TRUE(send_raw(*conn, bad));
+  refusal = read_raw(*conn, reader);
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->type, FrameType::kError);
+  EXPECT_EQ(refusal->payload, kReasonBadBatch);
+
+  // A word query with an illegal symbol: refused, same contract.
+  Frame bad_word;
+  bad_word.type = FrameType::kQueryWord;
+  bad_word.epoch = 1;
+  bad_word.seq = 4;
+  bad_word.payload = "power on";
+  ASSERT_TRUE(send_raw(*conn, bad_word));
+  refusal = read_raw(*conn, reader);
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->type, FrameType::kError);
+  EXPECT_EQ(refusal->payload, kReasonBadWord);
+
+  // The session survived all three refusals: a real query still answers.
+  Frame word;
+  word.type = FrameType::kQueryWord;
+  word.epoch = 1;
+  word.seq = 5;
+  word.payload = encode_word({"power_on", "authentication_request"});
+  ASSERT_TRUE(send_raw(*conn, word));
+  auto answer = read_raw(*conn, reader);
+  ASSERT_TRUE(answer.has_value());
+  ASSERT_EQ(answer->type, FrameType::kWordAck);
+  EXPECT_EQ(decode_word(answer->payload), local.run({"power_on", "authentication_request"}));
+
+  server.stop();
+  EXPECT_EQ(server.stats().batch_refusals, 3);
+  EXPECT_EQ(server.stats().word_queries, 1) << "refused requests ran no SUL work";
+}
+
+// Satellite (b): the per-session registry and the rendered stats table carry
+// the batch counters an operator needs to see amortization working.
+TEST(Session, BatchCountersSurfaceInRegistryAndRender) {
+  SulServer server(ue::StackProfile::cls());
+  ASSERT_TRUE(server.start());
+  {
+    RemoteUeSul remote(client_options(server.port()));
+    remote.run({"power_on"});  // one kQueryWord
+    remote.query_batch({{"power_on"},
+                        {"power_on", "authentication_request"},
+                        {"paging"}});  // one kQueryBatch, three words
+  }  // destructor sends kBye
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server.stop();
+
+  std::vector<SessionStats> sessions = server.session_stats();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].word_queries, 1);
+  EXPECT_EQ(sessions[0].batch_queries, 1);
+  EXPECT_EQ(sessions[0].batched_words, 3);
+  EXPECT_GT(sessions[0].prefix_hits, 0);
+
+  const std::string table = server.render_stats();
+  EXPECT_NE(table.find("words:"), std::string::npos) << table;
+  EXPECT_NE(table.find("1 batches (3 words)"), std::string::npos) << table;
+}
+
 // --- Per-session quotas ------------------------------------------------------
 
 TEST(Session, QueryQuotaTripsWithStructuredClose) {
