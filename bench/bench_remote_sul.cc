@@ -27,8 +27,15 @@
 // 2·(|word|+1) delays per query and the batched shape amortizes two delays
 // across a whole batch, which is the point of wire v3.
 //
+// --journal measures what the crash-safe learn journal (DESIGN.md §15) costs
+// where it matters: a full supervised learn over the word protocol through a
+// ~2 ms delay proxy (so the fsync cadence has real RPC latency to amortize
+// against), journaled vs unjournaled, median of 3 interleaved runs each.
+// The mode exits nonzero when the overhead exceeds 3% — the regression gate
+// for the journaling fast path.
+//
 //   ./bench_remote_sul [--words N] [--clients N] [--rtt-ms M] [--batch N]
-//                      [--write-json [path]]
+//                      [--journal] [--write-json [path]]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +45,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "learner/learn_supervisor.h"
+#include "learner/lstar.h"
 #include "learner/sul.h"
 #include "net/chaos_proxy.h"
 #include "net/remote_sul.h"
@@ -207,10 +216,90 @@ RttRow run_rtt_row(int batch, int rtt_ms, const Workload& w,
   return row;
 }
 
+struct JournalOverhead {
+  bool measured = false;
+  double unjournaled_seconds = 0;  // median of 3
+  double journaled_seconds = 0;    // median of 3
+  double overhead_pct = 0;
+  long journal_records = 0;
+};
+
+// One supervised learn over the word protocol through a delaying proxy;
+// journaled when `journal_path` is non-empty. Returns wall seconds.
+double run_supervised_learn(std::uint16_t port, const std::string& journal_path,
+                            long* records_out) {
+  if (!journal_path.empty()) {
+    std::remove(journal_path.c_str());
+    std::remove((journal_path + ".lock").c_str());
+    std::remove((journal_path + ".tmp").c_str());
+  }
+  net::RemoteSulOptions opts;
+  opts.port = port;
+  opts.max_batch_words = 1;  // one kQueryWord per word: every query pays the RTT
+  opts.call_deadline_seconds = 5.0;
+  net::RemoteUeSul sul(opts);
+  learner::LearnSupervisorOptions lopts;
+  lopts.learn.eq_test_words = 20;
+  lopts.learn.eq_test_max_length = 4;
+  lopts.learn.seed = 0xBE7C;
+  lopts.journal_path = journal_path;
+  lopts.run_tag = "cls";
+  const auto start = std::chrono::steady_clock::now();
+  const learner::SupervisedLearn run = learner::learn_supervised(sul, lopts);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (!run.result.converged) {
+    std::fprintf(stderr, "error: journal bench learn did not converge: %s\n",
+                 run.result.note.c_str());
+    return -1;
+  }
+  if (records_out != nullptr) *records_out = static_cast<long>(run.journal_records);
+  return seconds;
+}
+
+JournalOverhead run_journal_overhead(const ue::StackProfile& profile) {
+  JournalOverhead jo;
+  net::SulServer server(profile);
+  if (!server.start()) {
+    std::fprintf(stderr, "error: cannot start loopback SUL server\n");
+    return jo;
+  }
+  net::ChaosProxyOptions popts;
+  popts.upstream_port = server.port();
+  popts.faults.delay = 1.0;
+  popts.max_delay_ms = 2;  // every chunk pays ~2 ms: realistic RPC latency
+  net::ChaosProxy proxy(popts);
+  if (!proxy.start()) {
+    std::fprintf(stderr, "error: cannot start chaos proxy\n");
+    return jo;
+  }
+  const std::string path = "/tmp/bench_learn_journal.journal";
+  std::vector<double> plain, journaled;
+  for (int round = 0; round < 3; ++round) {  // interleaved: drift hits both arms
+    const double u = run_supervised_learn(proxy.port(), "", nullptr);
+    const double j = run_supervised_learn(proxy.port(), path, &jo.journal_records);
+    if (u < 0 || j < 0) return jo;
+    plain.push_back(u);
+    journaled.push_back(j);
+  }
+  std::sort(plain.begin(), plain.end());
+  std::sort(journaled.begin(), journaled.end());
+  jo.unjournaled_seconds = plain[1];
+  jo.journaled_seconds = journaled[1];
+  jo.overhead_pct =
+      (jo.journaled_seconds - jo.unjournaled_seconds) / jo.unjournaled_seconds * 100.0;
+  jo.measured = true;
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+  std::remove((path + ".tmp").c_str());
+  return jo;
+}
+
 void write_json(const std::string& path, const Workload& w,
                 const std::vector<Row>& rows,
                 const std::vector<ClientsSample>& sweep, int rtt_ms,
-                const std::vector<RttRow>& rtt_rows) {
+                const std::vector<RttRow>& rtt_rows,
+                const JournalOverhead& jo) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -247,7 +336,16 @@ void write_json(const std::string& path, const Workload& w,
                  r.batch, r.seconds, r.queries_per_sec, r.server_resets, r.server_steps,
                  i + 1 < rtt_rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (jo.measured) {
+    std::fprintf(f,
+                 "  ],\n  \"journal_overhead\": {\"rtt_ms\": 2, \"batch\": 1,"
+                 " \"unjournaled_seconds\": %.3f, \"journaled_seconds\": %.3f,"
+                 " \"overhead_pct\": %.2f, \"journal_records\": %ld}\n}\n",
+                 jo.unjournaled_seconds, jo.journaled_seconds, jo.overhead_pct,
+                 jo.journal_records);
+  } else {
+    std::fprintf(f, "  ]\n}\n");
+  }
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -259,6 +357,7 @@ int main(int argc, char** argv) {
   int clients_override = 0;
   int rtt_ms = 0;
   int batch_size = 16;
+  bool journal_mode = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
@@ -269,6 +368,8 @@ int main(int argc, char** argv) {
       rtt_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch_size = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal_mode = true;
     } else if (std::strcmp(argv[i], "--write-json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-')
                       ? argv[++i]
@@ -276,7 +377,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_remote_sul [--words N] [--clients N] [--rtt-ms M]"
-                   " [--batch N] [--write-json [path]]\n");
+                   " [--batch N] [--journal] [--write-json [path]]\n");
       return 2;
     }
   }
@@ -398,6 +499,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!json_path.empty()) write_json(json_path, w, rows, sweep, rtt_ms, rtt_rows);
+  // Journal-overhead gate: a supervised learn through a ~2 ms delay proxy
+  // over the word protocol, journaled vs not, median of 3 each.
+  JournalOverhead jo;
+  if (journal_mode) {
+    std::printf("\nlearn-journal overhead (word protocol, ~2 ms RTT, median of 3):\n");
+    jo = run_journal_overhead(profile);
+    if (!jo.measured) return 1;
+    std::printf("%-22s %10.3f s\n", "unjournaled learn", jo.unjournaled_seconds);
+    std::printf("%-22s %10.3f s  (%ld records)\n", "journaled learn", jo.journaled_seconds,
+                jo.journal_records);
+    std::printf("%-22s %9.2f %%\n", "overhead", jo.overhead_pct);
+  }
+
+  if (!json_path.empty()) write_json(json_path, w, rows, sweep, rtt_ms, rtt_rows, jo);
+
+  if (journal_mode && jo.overhead_pct >= 3.0) {
+    std::fprintf(stderr,
+                 "error: journaled learning overhead %.2f%% exceeds the 3%% budget\n",
+                 jo.overhead_pct);
+    return 1;
+  }
   return 0;
 }

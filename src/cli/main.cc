@@ -24,9 +24,15 @@
 //       own isolated SUL session; admission, quotas, PSK auth, and graceful
 //       drain (first ctrl-c) are configurable.
 //   learn --profile <cls|srsue|oai> [--remote <host:port>] [--seed <S>]
+//         [--journal <file>] [--resume <file>] [--arbitrate <k/n>]
+//         [--deadline <S>] [--retries <N>]
 //       Active L* learning of the UE Mealy machine — in-process by default,
 //       or against a serve-sul endpoint with --remote (fault-tolerant
-//       transport; degraded runs end inconclusive, never hang).
+//       transport; degraded runs end inconclusive, never hang). Runs under
+//       the learning supervisor (DESIGN.md §15): a crash-safe observation
+//       journal makes `--resume` continue byte-identically from any kill
+//       point, contradictory answers are arbitrated k-of-n, and watchdogs
+//       bound every attempt.
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -44,6 +50,7 @@
 #include "common/thread_pool.h"
 #include "extractor/extractor.h"
 #include "instrument/source_instrumentor.h"
+#include "learner/learn_supervisor.h"
 #include "learner/lstar.h"
 #include "net/remote_conformance.h"
 #include "net/remote_sul.h"
@@ -77,8 +84,12 @@ int usage() {
                "            [--drain-seconds <S>] [--stats]\n"
                "  learn --profile <cls|srsue|oai> [--remote <host:port>] [--psk <key>]"
                " [--seed <S>] [--dot] [--batch <N>]\n"
+               "        [--journal <file>] [--resume <file>] [--arbitrate <k/n>]"
+               " [--deadline <S>] [--retries <N>]\n"
                "        (--batch 0 forces the per-symbol v2 protocol; default offers"
-               " a 16-word batch)\n");
+               " a 16-word batch;\n"
+               "         --resume continues a killed run from its journal;"
+               " --arbitrate 0/0 disables k-of-n re-querying)\n");
   return 2;
 }
 
@@ -490,14 +501,49 @@ int cmd_serve_sul(const Args& args) {
 int cmd_learn(const Args& args) {
   auto profile = profile_by_name(args.get("profile"));
   if (!profile) return usage();
-  learner::LearnOptions options;
+  learner::LearnSupervisorOptions sup;
+  sup.run_tag = profile->name;
   if (args.has("seed")) {
     auto v = parse_u64(args.get("seed"));
     if (!v) return bad_option("seed", args.get("seed"));
-    options.seed = *v;
+    sup.learn.seed = *v;
   }
 
-  learner::LearnResult result;
+  // Supervisor knobs (crash-safe journal, arbitration, watchdogs —
+  // DESIGN.md §15), mirroring analyze's journal/resume discipline.
+  if (args.has("journal")) sup.journal_path = args.get("journal");
+  if (args.has("resume")) {
+    sup.journal_path = args.get("resume");
+    sup.resume = true;
+  }
+  if (args.has("arbitrate")) {
+    // "k/n": commit a cell only when k of n fresh re-queries agree ("0/0"
+    // disables arbitration — first observation wins).
+    const std::string text = args.get("arbitrate");
+    const std::size_t slash = text.find('/');
+    std::optional<std::uint64_t> k, n;
+    if (slash != std::string::npos) {
+      k = parse_u64(text.substr(0, slash));
+      n = parse_u64(text.substr(slash + 1));
+    }
+    if (!k || !n || *n > 99 || (*n > 0 && (*k <= *n / 2 || *k > *n))) {
+      return bad_option("arbitrate", text);
+    }
+    sup.arbitration_k = static_cast<int>(*k);
+    sup.arbitration_n = static_cast<int>(*n);
+  }
+  if (args.has("deadline")) {
+    auto v = parse_double(args.get("deadline"));
+    if (!v || *v < 0) return bad_option("deadline", args.get("deadline"));
+    sup.deadline_seconds = *v;
+  }
+  if (args.has("retries")) {
+    auto v = parse_u64(args.get("retries"));
+    if (!v || *v > 16) return bad_option("retries", args.get("retries"));
+    sup.retries = static_cast<int>(*v);
+  }
+
+  learner::SupervisedLearn run;
   if (args.has("remote")) {
     auto ep = parse_endpoint(args.get("remote"));
     if (!ep) return bad_option("remote", args.get("remote"));
@@ -510,13 +556,18 @@ int cmd_learn(const Args& args) {
     if (!batch) return bad_option("batch", args.get("batch"));
     ropts.max_batch_words = *batch;
     net::RemoteUeSul sul(ropts);
-    result = learner::learn_mealy(sul, options);
+    run = learner::learn_supervised(sul, sup);
     net::RemoteSulStats stats = sul.stats();
     std::fprintf(stderr,
                  "transport: %ld connects (%ld re), %ld framing errors, %ld timeouts,"
-                 " %ld breaker opens, %ld nondeterministic queries\n",
+                 " %ld nondeterministic queries\n",
                  stats.connects, stats.reconnects, stats.framing_errors, stats.rpc_timeouts,
-                 stats.breaker_opens, stats.nondeterministic_queries);
+                 stats.nondeterministic_queries);
+    std::fprintf(stderr,
+                 "breaker: %s (%ld opens, %ld half-open probes, %ld cache fallbacks,"
+                 " %ld unavailable answers)\n",
+                 std::string(net::to_string(sul.breaker())).c_str(), stats.breaker_opens,
+                 stats.breaker_probes, stats.cache_fallbacks, stats.unavailable_answers);
     std::fprintf(stderr,
                  "batching: negotiated %d words, %ld batches (%ld words), %ld word"
                  " queries, %ld word resyncs\n",
@@ -530,7 +581,42 @@ int cmd_learn(const Args& args) {
     }
   } else {
     learner::UeSul sul(*profile);
-    result = learner::learn_mealy(sul, options);
+    run = learner::learn_supervised(sul, sup);
+  }
+
+  if (run.aborted) {
+    // Structured refusal (journal locked by a live run, or --resume against
+    // an options-incompatible journal): no query was issued.
+    std::fprintf(stderr, "error: learn aborted: %s\n", run.abort_reason.c_str());
+    return 1;
+  }
+  const learner::LearnResult& result = run.result;
+  // Journal/supervisor status goes to stderr so the deterministic stdout
+  // rendering stays byte-comparable between interrupted and clean runs.
+  if (!sup.journal_path.empty()) {
+    std::fprintf(stderr, "journal: %zu records at %s (%zu adopted, %zu replayed)\n",
+                 run.journal_records, sup.journal_path.c_str(), run.adopted, run.replayed);
+    if (!run.journal_note.empty()) {
+      std::fprintf(stderr, "journal note: %s\n", run.journal_note.c_str());
+    }
+    if (!run.journal_error.empty()) {
+      std::fprintf(stderr, "journal warning: %s\n", run.journal_error.c_str());
+    }
+  }
+  if (run.attempts > 1 || run.failure != learner::LearnFailure::kNone) {
+    std::fprintf(stderr, "supervisor: %d attempt(s), last failure: %s%s%s\n", run.attempts,
+                 std::string(learner::to_string(run.failure)).c_str(),
+                 run.diagnostics.empty() ? "" : " — ", run.diagnostics.c_str());
+  }
+  if (result.arbitrations > 0 || !result.quarantined.empty()) {
+    std::fprintf(stderr,
+                 "arbitration: %ld conflicts, %ld re-queries, %ld overridden edges,"
+                 " %zu quarantined cells\n",
+                 result.arbitrations, result.arbitration_requeries,
+                 result.arbitration_overrides, result.quarantined.size());
+    for (const std::string& q : result.quarantined) {
+      std::fprintf(stderr, "  quarantined: %s\n", q.c_str());
+    }
   }
 
   if (result.inconclusive) {

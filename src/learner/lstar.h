@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "fsm/fsm.h"
 #include "learner/sul.h"
 
@@ -67,6 +68,19 @@ struct LearnResult {
   /// last (possibly empty) hypothesis and must not be trusted.
   bool inconclusive = false;
   std::string note;  // diagnostic when inconclusive
+  // Nondeterminism-arbitration counters, filled by the learning supervisor
+  // (learn_supervisor.h) — plain learn_mealy leaves them zero: observation
+  // conflicts arbitrated, fresh k-of-n re-queries those arbitrations issued,
+  // and committed edges the majority overturned (each forcing a re-learn
+  // from the corrected journal).
+  long arbitrations = 0;
+  long arbitration_requeries = 0;
+  long arbitration_overrides = 0;
+  /// Cells arbitration could not resolve (no k-of-n majority): structured
+  /// "no k-of-n majority for word ... at position ... (votes: ...)" lines.
+  /// Non-empty only alongside inconclusive — a contested cell never ends up
+  /// in a machine.
+  std::vector<std::string> quarantined;
 };
 
 struct LearnOptions {
@@ -76,6 +90,11 @@ struct LearnOptions {
   std::uint64_t seed = 0xC0FFEE;
   /// Safety bound on refinement rounds.
   int max_rounds = 25;
+  /// Cooperative cancellation, polled at round boundaries and per
+  /// equivalence-oracle word (the supervisor's watchdogs cancel through
+  /// here). A cancelled, unconverged learn returns a structured
+  /// inconclusive result — never a partial machine presented as final.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Learns a Mealy machine for the UE black box over input_alphabet(). Works

@@ -148,4 +148,8 @@ std::vector<std::vector<std::string>> Sul::query_batch(
   return outputs;
 }
 
+std::vector<std::string> Sul::query_word_fresh(const std::vector<std::string>& word) {
+  return query_word(word);
+}
+
 }  // namespace procheck::learner

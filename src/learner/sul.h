@@ -75,6 +75,15 @@ class Sul {
   virtual std::vector<std::vector<std::string>> query_batch(
       const std::vector<std::vector<std::string>>& words);
 
+  /// Answers one membership query with a *fresh* execution, bypassing any
+  /// answer cache the implementation keeps. The learning supervisor's
+  /// nondeterminism arbitration samples contested words k-of-n through this
+  /// path — a vote cache that echoed one cached answer n times would rig
+  /// the vote. Base implementation: query_word() (the in-process harness
+  /// has no cache, so every query is already fresh).
+  virtual std::vector<std::string> query_word_fresh(
+      const std::vector<std::string>& word);
+
   /// Runs a whole word from the initial state (one membership query).
   std::vector<std::string> run(const std::vector<std::string>& word) {
     return query_word(word);

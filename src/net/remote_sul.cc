@@ -445,7 +445,8 @@ std::vector<std::string> RemoteUeSul::vote_word_locked(const std::vector<std::st
 }
 
 RemoteUeSul::WordRpc RemoteUeSul::word_query_locked(const std::vector<std::string>& word,
-                                                    std::vector<std::string>* answers) {
+                                                    std::vector<std::string>* answers,
+                                                    bool raw) {
   if (options_.max_batch_words <= 0 || !word_encodable(word)) return WordRpc::kDenied;
 
   double backoff_scale = 1.0;
@@ -474,7 +475,7 @@ RemoteUeSul::WordRpc RemoteUeSul::word_query_locked(const std::vector<std::strin
       ++resets_;
       steps_ += static_cast<long>(word.size());
       ++stats_.word_queries;
-      *answers = vote_word_locked(word, *outs);
+      *answers = raw ? *outs : vote_word_locked(word, *outs);
       return WordRpc::kOk;
     }
     record_failure_locked();
@@ -493,6 +494,19 @@ std::vector<std::string> RemoteUeSul::query_word(const std::vector<std::string>&
   // Denied or failed: the per-symbol path already encodes every retry,
   // breaker, vote-cache, and degradation rule, so falling back preserves
   // byte-identity (and a hard outage still degrades to kSulUnavailable).
+  return Sul::query_word(word);
+}
+
+std::vector<std::string> RemoteUeSul::query_word_fresh(
+    const std::vector<std::string>& word) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> answers;
+    if (word_query_locked(word, &answers, /*raw=*/true) == WordRpc::kOk) return answers;
+  }
+  // No word protocol (or the link is down): the per-symbol path is the only
+  // transport left. Its vote cache cannot be bypassed per-call, so the
+  // sample is as fresh as the wire allows.
   return Sul::query_word(word);
 }
 

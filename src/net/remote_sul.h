@@ -142,6 +142,15 @@ class RemoteUeSul final : public learner::Sul {
   std::vector<std::vector<std::string>> query_batch(
       const std::vector<std::vector<std::string>>& words) override;
 
+  /// One fresh kQueryWord round trip whose raw server answer is returned
+  /// as-is — it neither consults nor feeds the majority-vote cache. The
+  /// learning supervisor's k-of-n arbitration samples through this: the
+  /// cache's job is to *smooth* flapping, which is exactly what a vote must
+  /// not see. Falls back to the per-symbol path when the server never
+  /// granted the word protocol.
+  std::vector<std::string> query_word_fresh(
+      const std::vector<std::string>& word) override;
+
   long resets() const override;
   long steps() const override;
 
@@ -187,9 +196,11 @@ class RemoteUeSul final : public learner::Sul {
                                             const std::vector<std::string>& outputs);
 
   /// One word over kQueryWord, with the step() retry/backoff/breaker rules.
+  /// `raw` skips the vote cache entirely (arbitration sampling); the default
+  /// feeds the observed outputs through it for run-to-run answer stability.
   enum class WordRpc : std::uint8_t { kOk, kDenied, kFailed };
   WordRpc word_query_locked(const std::vector<std::string>& word,
-                            std::vector<std::string>* answers);
+                            std::vector<std::string>* answers, bool raw = false);
   /// Best-effort pipelined batches over the distinct `words`; every answered
   /// word lands in `*answered`. Words left behind (denied protocol, failed
   /// link, unencodable symbols) are the caller's to finish per-word.

@@ -13,11 +13,21 @@
 // reference, with zero session_errors).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "learner/learn_supervisor.h"
 #include "learner/lstar.h"
 #include "learner/sul.h"
 #include "net/chaos_proxy.h"
@@ -241,6 +251,112 @@ TEST(ChaosNightly, BatchedStormIsHonestAndKeepsNegotiating) {
   }
   server.stop();
   EXPECT_EQ(server.stats().session_errors, 0);
+}
+
+// --- SIGKILL learner storm ---------------------------------------------------
+
+// Re-exec'd worker for the SIGKILL storm: one remote supervised learner
+// resuming the shared journal. The parent kills most instances mid-learn;
+// the last one must run to convergence and exit 0.
+TEST(LearnStormChild, DISABLED_Run) {
+  const char* port_env = std::getenv("PROCHECK_STORM_PORT");
+  const char* journal_env = std::getenv("PROCHECK_STORM_JOURNAL");
+  ASSERT_NE(port_env, nullptr);
+  ASSERT_NE(journal_env, nullptr);
+  learner::LearnSupervisorOptions o;
+  o.learn = quick_learn_options();
+  o.journal_path = journal_env;
+  o.resume = true;
+  o.run_tag = "cls";
+  o.retries = 2;
+  o.backoff_seconds = 0.005;
+  o.journal_commit_every = 8;  // commit often so every kill leaves progress behind
+  RemoteUeSul remote(client_options(static_cast<std::uint16_t>(std::atoi(port_env))));
+  const learner::SupervisedLearn run = learner::learn_supervised(remote, o);
+  ASSERT_FALSE(run.aborted) << run.abort_reason;
+  ASSERT_TRUE(run.result.converged) << run.result.note;
+}
+
+// SIGKILL at a seeded random point inside every learner, a dozen times in a
+// row, against the live multi-session server. Each successor steals the dead
+// holder's stale journal lock, adopts the committed prefix, and continues;
+// the final un-killed worker converges, and an in-process resume of the same
+// journal reproduces the clean reference machine. The server rides out every
+// kill with zero session errors.
+TEST(ChaosNightly, SigkillLearnerStormResumesToCompletion) {
+  REQUIRE_NIGHTLY();
+  std::string reference;
+  {
+    learner::UeSul sul(ue::StackProfile::cls());
+    reference = fsm_text(learner::learn_mealy(sul, quick_learn_options()));
+  }
+
+  SulServerOptions sopts;
+  sopts.max_sessions = 4;
+  SulServer server(ue::StackProfile::cls(), sopts);
+  ASSERT_TRUE(server.start());
+
+  const std::string journal = ::testing::TempDir() + "storm_learn.journal";
+  std::remove(journal.c_str());
+  std::remove((journal + ".lock").c_str());
+  std::remove((journal + ".tmp").c_str());
+  const std::string port = std::to_string(server.port());
+  ASSERT_EQ(setenv("PROCHECK_STORM_PORT", port.c_str(), 1), 0);
+  ASSERT_EQ(setenv("PROCHECK_STORM_JOURNAL", journal.c_str(), 1), 0);
+
+  const auto spawn_child = [] {
+    pid_t pid = fork();
+    if (pid == 0) {
+      execl("/proc/self/exe", "chaos_nightly_test",
+            "--gtest_filter=LearnStormChild.DISABLED_Run", "--gtest_also_run_disabled_tests",
+            static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    return pid;
+  };
+
+  Rng rng(0x516C111ULL);
+  for (int i = 0; i < 12; ++i) {
+    const pid_t pid = spawn_child();
+    ASSERT_GT(pid, 0);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(5 + static_cast<int>(rng.next_below(76))));
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFSIGNALED(status) || WIFEXITED(status));
+  }
+
+  // The final, unmolested worker must finish the job.
+  {
+    const pid_t pid = spawn_child();
+    ASSERT_GT(pid, 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "final storm worker failed";
+  }
+
+  // In-process resume of the storm journal reproduces the clean reference.
+  {
+    learner::LearnSupervisorOptions o;
+    o.learn = quick_learn_options();
+    o.journal_path = journal;
+    o.resume = true;
+    o.run_tag = "cls";
+    learner::UeSul sul(ue::StackProfile::cls());
+    const learner::SupervisedLearn run = learner::learn_supervised(sul, o);
+    ASSERT_FALSE(run.aborted) << run.abort_reason;
+    ASSERT_TRUE(run.result.converged) << run.result.note;
+    EXPECT_EQ(fsm_text(run.result), reference) << "storm journal led to a different machine";
+    EXPECT_GT(run.adopted, 0u) << "twelve kills left no committed progress at all";
+    EXPECT_EQ(run.replayed, run.adopted);
+  }
+
+  server.stop();
+  EXPECT_EQ(server.stats().session_errors, 0);
+  unsetenv("PROCHECK_STORM_PORT");
+  unsetenv("PROCHECK_STORM_JOURNAL");
 }
 
 }  // namespace

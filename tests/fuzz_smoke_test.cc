@@ -19,12 +19,17 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "instrument/trace_log.h"
+#include "learner/learn_supervisor.h"
+#include "learner/lstar.h"
+#include "learner/sul.h"
 #include "nas/messages.h"
 #include "net/socket.h"
 #include "net/sul_server.h"
@@ -745,6 +750,124 @@ TEST(FuzzSmoke, LogParserTotalAndAccountingConserved) {
   EXPECT_GT(with_records, 0u);
   std::printf("[fuzz] log parser: %zu inputs kept records, %zu fully shed\n", with_records,
               fully_shed);
+}
+
+// --- Learn-journal fuzz ------------------------------------------------------
+
+/// Structure-aware journal mutations: the byte-level mutator plus line-level
+/// edits (duplicate / delete / swap / splice) that survive the CRC tags.
+std::string mutate_journal(const std::string& input, Rng& rng) {
+  if (rng.next_below(2) == 0) return mutate_text(input, rng);
+  std::vector<std::string> lines;
+  std::istringstream in(input);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  if (lines.empty()) return mutate_text(input, rng);
+  switch (rng.next_below(4)) {
+    case 0: {  // duplicate a line in place
+      std::size_t i = rng.next_below(lines.size());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+      break;
+    }
+    case 1: {  // delete a line
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(rng.next_below(lines.size())));
+      break;
+    }
+    case 2: {  // swap two lines (header included — may demote it)
+      std::size_t a = rng.next_below(lines.size());
+      std::size_t b = rng.next_below(lines.size());
+      std::swap(lines[a], lines[b]);
+      break;
+    }
+    default: {  // splice: a prefix joined to a suffix from elsewhere
+      std::size_t cut = rng.next_below(lines.size() + 1);
+      std::size_t from = rng.next_below(lines.size() + 1);
+      std::vector<std::string> out(lines.begin(),
+                                   lines.begin() + static_cast<std::ptrdiff_t>(cut));
+      out.insert(out.end(), lines.begin() + static_cast<std::ptrdiff_t>(from), lines.end());
+      lines = std::move(out);
+      break;
+    }
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// Every mutated learn journal must resume to one of three structured
+// outcomes: the true machine (a valid prefix was adopted and completed), a
+// structured refusal (abort), or a structured inconclusive — never a crash,
+// a hang, or a silently wrong machine.
+TEST(FuzzSmoke, MutatedLearnJournalsResumeOrRefuseNeverLie) {
+  learner::LearnOptions lopts;
+  lopts.eq_test_words = 8;
+  lopts.eq_test_max_length = 3;
+  lopts.seed = 0xF0220;
+
+  const std::string path = ::testing::TempDir() + "fuzz_learn.journal";
+  auto scrub = [&path] {
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+    std::remove((path + ".tmp").c_str());
+  };
+  scrub();
+  std::string corpus;
+  std::string reference_fsm;
+  {
+    learner::LearnSupervisorOptions o;
+    o.learn = lopts;
+    o.journal_path = path;
+    o.run_tag = "cls";
+    learner::UeSul sul(ue::StackProfile::cls());
+    const learner::SupervisedLearn run = learner::learn_supervised(sul, o);
+    ASSERT_TRUE(run.result.converged) << run.result.note;
+    reference_fsm = run.result.machine.to_fsm().to_dot("learned");
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    corpus = ss.str();
+  }
+  ASSERT_FALSE(corpus.empty());
+
+  Rng rng(0x10AD9A11ULL);
+  std::size_t converged = 0, refused = 0, inconclusive = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string text = corpus;
+    const std::uint64_t depth = 1 + rng.next_below(4);
+    for (std::uint64_t d = 0; d < depth; ++d) text = mutate_journal(text, rng);
+
+    scrub();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << text;
+    }
+    learner::LearnSupervisorOptions o;
+    o.learn = lopts;
+    o.journal_path = path;
+    o.resume = true;
+    o.run_tag = "cls";
+    learner::UeSul sul(ue::StackProfile::cls());
+    const learner::SupervisedLearn run = learner::learn_supervised(sul, o);
+    if (run.aborted) {
+      EXPECT_FALSE(run.abort_reason.empty()) << "refusal without a reason";
+      ++refused;
+    } else if (run.result.converged) {
+      // Whatever prefix was adopted, the machine must be the true one.
+      EXPECT_EQ(run.result.machine.to_fsm().to_dot("learned"), reference_fsm)
+          << "round " << round << " silently learned a wrong machine";
+      ++converged;
+    } else {
+      EXPECT_TRUE(run.result.inconclusive) << "unstructured failure in round " << round;
+      EXPECT_FALSE(run.result.note.empty());
+      ++inconclusive;
+    }
+  }
+  scrub();
+  EXPECT_GT(converged, 0u) << "the mutator starved the resume path of valid prefixes";
+  std::printf("[fuzz] learn journals: %zu converged, %zu refused, %zu inconclusive\n", converged,
+              refused, inconclusive);
 }
 
 }  // namespace

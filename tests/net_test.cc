@@ -487,6 +487,97 @@ TEST(NetTransport, MajorityVoteFlagsNondeterministicServer) {
   EXPECT_EQ(second, third);
 }
 
+// Like FlakyAnswerServer, but speaks the v3 word protocol: the hello-ack
+// grants a batch so the client routes query_word over kQueryWord, and every
+// kWordAck alternates the first output symbol.
+class FlakyWordServer {
+ public:
+  FlakyWordServer() {
+    auto listener = TcpListener::listen(0);
+    EXPECT_TRUE(listener.has_value());
+    listener_ = std::move(*listener);
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~FlakyWordServer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+  std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void loop() {
+    while (!stop_.load()) {
+      auto conn = listener_.accept(0.05);
+      if (!conn) continue;
+      FrameReader reader;
+      Bytes chunk;
+      while (!stop_.load()) {
+        Decoded d = reader.next();
+        if (d.status == DecodeStatus::kBadFrame) break;
+        if (d.status == DecodeStatus::kNeedMore) {
+          chunk.clear();
+          auto st = conn->recv_some(chunk, 4096, 0.05);
+          if (st == TcpConn::RecvStatus::kTimeout) continue;
+          if (st != TcpConn::RecvStatus::kData) break;
+          reader.feed(chunk);
+          continue;
+        }
+        Frame ack;
+        ack.epoch = d.frame.epoch;
+        ack.seq = d.frame.seq;
+        switch (d.frame.type) {
+          case FrameType::kHello:
+            ack.type = FrameType::kHelloAck;
+            ack.payload = with_batch_token("flaky", kDefaultBatchWords);
+            break;
+          case FrameType::kReset:
+            ack.type = FrameType::kResetAck;
+            break;
+          case FrameType::kQueryWord: {
+            ack.type = FrameType::kWordAck;
+            auto word = decode_word(d.frame.payload);
+            std::vector<std::string> outs(word ? word->size() : 0, "null");
+            if (!outs.empty() && (++word_no_ % 2 != 0)) outs[0] = "attach_request";
+            ack.payload = encode_word(outs);
+            break;
+          }
+          case FrameType::kPing:
+            ack.type = FrameType::kPong;
+            break;
+          default:
+            ack.type = FrameType::kError;
+            break;
+        }
+        if (!conn->send_all(encode_frame(ack), 0.5)) break;
+      }
+    }
+  }
+
+  TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  long word_no_ = 0;
+};
+
+TEST(NetTransport, QueryWordFreshBypassesTheVoteCache) {
+  FlakyWordServer server;
+  RemoteUeSul remote(client_options(server.port()));
+  const std::vector<std::string> word = {"power_on", "paging"};
+
+  // The arbitration sampling path sees every raw lie: consecutive fresh
+  // queries of the same word surface the alternation unvoted.
+  std::vector<std::string> fresh_a = remote.query_word_fresh(word);
+  std::vector<std::string> fresh_b = remote.query_word_fresh(word);
+  EXPECT_NE(fresh_a, fresh_b) << "fresh samples must bypass the vote cache";
+
+  // The learner-facing path stays vote-stable on the majority answer
+  // ("attach_request" wins ties toward the smallest symbol) despite the
+  // server alternating underneath.
+  std::vector<std::string> voted = remote.query_word(word);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(remote.query_word(word), voted);
+  EXPECT_GT(remote.stats().nondeterministic_queries, 0);
+}
+
 // --- Heartbeat -----------------------------------------------------------------
 
 TEST(NetTransport, HeartbeatKeepsLinkAliveAndDetectsDeath) {
