@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "learner/learn_supervisor.h"
 #include "learner/lstar.h"
 #include "learner/sul.h"
@@ -306,6 +307,9 @@ void write_json(const std::string& path, const Workload& w,
     return;
   }
   std::fprintf(f, "{\n  \"benchmark\": \"remote_sul\",\n");
+  // Detected core count: client-sweep scaling curves are only comparable
+  // between machines once normalized by this (EXPERIMENTS.md §multicore).
+  std::fprintf(f, "  \"hardware_concurrency\": %zu,\n", ThreadPool::default_parallelism());
   std::fprintf(f, "  \"words\": %zu,\n  \"steps\": %ld,\n", w.words.size(),
                w.total_steps);
   std::fprintf(f, "  \"placements\": [\n");

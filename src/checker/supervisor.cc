@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/journal.h"
+#include "common/json.h"
 
 namespace procheck::checker {
 
@@ -30,264 +31,12 @@ std::string_view to_string(FailureClass f) {
   return "?";
 }
 
-// --- Minimal JSON (journal record codec) -----------------------------------
-//
-// The journal stores one JSON object per line. Only the shapes the encoder
-// below emits are supported: objects, arrays, strings, integers, booleans.
-// The parser is strict — any malformation fails the whole record, which the
-// resume path treats as "absent" (the property is simply re-verified).
+// Journal record codec: JSON via the shared minimal parser/encoder in
+// common/json.h. The parser is strict — any malformation fails the whole
+// record, which the resume path treats as "absent" (the property is simply
+// re-verified).
 
 namespace {
-
-struct Json {
-  enum class Type : std::uint8_t { kNull, kBool, kInt, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool b = false;
-  long long i = 0;
-  std::string s;
-  std::vector<Json> arr;
-  std::map<std::string, Json> obj;
-
-  bool is(Type t) const { return type == t; }
-  const Json* find(const std::string& key) const {
-    auto it = obj.find(key);
-    return it == obj.end() ? nullptr : &it->second;
-  }
-  long long get_int(const std::string& key, long long dflt = 0) const {
-    const Json* v = find(key);
-    return v && v->is(Type::kInt) ? v->i : dflt;
-  }
-  std::string get_str(const std::string& key) const {
-    const Json* v = find(key);
-    return v && v->is(Type::kString) ? v->s : std::string();
-  }
-  bool get_bool(const std::string& key, bool dflt = false) const {
-    const Json* v = find(key);
-    return v && v->is(Type::kBool) ? v->b : dflt;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  std::optional<Json> parse() {
-    std::optional<Json> v = value();
-    skip_ws();
-    if (!v || pos_ != text_.size()) return std::nullopt;
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool eat(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  std::optional<Json> value() {
-    skip_ws();
-    if (pos_ >= text_.size()) return std::nullopt;
-    char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == '-' || (c >= '0' && c <= '9')) return number();
-    Json v;
-    if (literal("true")) {
-      v.type = Json::Type::kBool;
-      v.b = true;
-      return v;
-    }
-    if (literal("false")) {
-      v.type = Json::Type::kBool;
-      v.b = false;
-      return v;
-    }
-    if (literal("null")) return v;
-    return std::nullopt;
-  }
-
-  std::optional<Json> object() {
-    if (!eat('{')) return std::nullopt;
-    Json v;
-    v.type = Json::Type::kObject;
-    skip_ws();
-    if (eat('}')) return v;
-    for (;;) {
-      std::optional<Json> key = string_value();
-      if (!key || !eat(':')) return std::nullopt;
-      std::optional<Json> val = value();
-      if (!val) return std::nullopt;
-      v.obj.emplace(std::move(key->s), std::move(*val));
-      if (eat(',')) continue;
-      if (eat('}')) return v;
-      return std::nullopt;
-    }
-  }
-
-  std::optional<Json> array() {
-    if (!eat('[')) return std::nullopt;
-    Json v;
-    v.type = Json::Type::kArray;
-    skip_ws();
-    if (eat(']')) return v;
-    for (;;) {
-      std::optional<Json> val = value();
-      if (!val) return std::nullopt;
-      v.arr.push_back(std::move(*val));
-      if (eat(',')) continue;
-      if (eat(']')) return v;
-      return std::nullopt;
-    }
-  }
-
-  std::optional<Json> string_value() {
-    if (!eat('"')) return std::nullopt;
-    Json v;
-    v.type = Json::Type::kString;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c != '\\') {
-        v.s += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return std::nullopt;
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          v.s += esc;
-          break;
-        case 'n':
-          v.s += '\n';
-          break;
-        case 't':
-          v.s += '\t';
-          break;
-        case 'r':
-          v.s += '\r';
-          break;
-        case 'b':
-          v.s += '\b';
-          break;
-        case 'f':
-          v.s += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return std::nullopt;
-          unsigned code = 0;
-          for (int k = 0; k < 4; ++k) {
-            char h = text_[pos_++];
-            unsigned d;
-            if (h >= '0' && h <= '9') {
-              d = static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              d = static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              d = static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return std::nullopt;
-            }
-            code = code << 4 | d;
-          }
-          // The encoder only emits \u00XX (control bytes); anything wider
-          // is foreign input — substitute rather than mis-decode.
-          v.s += code < 0x100 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default:
-          return std::nullopt;
-      }
-    }
-    return std::nullopt;  // unterminated
-  }
-
-  std::optional<Json> number() {
-    std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    std::size_t digits = 0;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      ++pos_;
-      ++digits;
-    }
-    if (digits == 0 || digits > 18) return std::nullopt;
-    Json v;
-    v.type = Json::Type::kInt;
-    v.i = 0;
-    bool neg = text_[start] == '-';
-    for (std::size_t k = start + (neg ? 1 : 0); k < pos_; ++k) {
-      v.i = v.i * 10 + (text_[k] - '0');
-    }
-    if (neg) v.i = -v.i;
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-/// JSON string literal (quoted, escaped).
-std::string js(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string js_array(const std::vector<std::string>& items) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i > 0) out += ',';
-    out += js(items[i]);
-  }
-  out += ']';
-  return out;
-}
 
 std::string_view status_token(PropertyResult::Status s) {
   switch (s) {
@@ -328,7 +77,7 @@ constexpr int kJournalVersion = 2;
 
 std::string encode_header(const std::string& tag, const std::string& opts) {
   return std::string("{\"kind\":\"header\",\"v\":") + std::to_string(kJournalVersion) +
-         ",\"tag\":" + js(tag) + ",\"opts\":" + js(opts) + "}";
+         ",\"tag\":" + json_quote(tag) + ",\"opts\":" + json_quote(opts) + "}";
 }
 
 struct Header {
@@ -339,7 +88,7 @@ struct Header {
 /// Returns the header fields, or nullopt if the payload is not a valid
 /// current-version header.
 std::optional<Header> decode_header(std::string_view payload) {
-  std::optional<Json> v = JsonParser(payload).parse();
+  std::optional<Json> v = json_parse(payload);
   if (!v || !v->is(Json::Type::kObject)) return std::nullopt;
   if (v->get_str("kind") != "header") return std::nullopt;
   if (v->get_int("v") != kJournalVersion) return std::nullopt;
@@ -351,20 +100,20 @@ std::optional<Header> decode_header(std::string_view payload) {
 std::string encode_outcome(const PropertyOutcome& outcome) {
   const PropertyResult& r = outcome.result;
   std::string out = "{\"kind\":\"outcome\"";
-  out += ",\"id\":" + js(r.property_id);
-  out += ",\"attack\":" + js(r.attack_id);
+  out += ",\"id\":" + json_quote(r.property_id);
+  out += ",\"attack\":" + json_quote(r.attack_id);
   out += ",\"status\":\"" + std::string(status_token(r.status)) + "\"";
-  out += ",\"note\":" + js(r.note);
+  out += ",\"note\":" + json_quote(r.note);
   out += ",\"iters\":" + std::to_string(r.iterations);
   out += ",\"attempts\":" + std::to_string(outcome.attempts);
   out += ",\"failure\":\"" + std::string(to_string(outcome.failure)) + "\"";
-  out += ",\"diag\":" + js(outcome.diagnostics);
-  out += ",\"refs\":" + js_array(r.refinements);
+  out += ",\"diag\":" + json_quote(outcome.diagnostics);
+  out += ",\"refs\":" + json_quote_array(r.refinements);
   if (r.equivalence) {
     out += ",\"equiv\":{\"dist\":" + std::string(r.equivalence->distinguishable ? "true" : "false");
-    out += ",\"victim\":" + js(r.equivalence->victim_response);
-    out += ",\"other\":" + js(r.equivalence->other_response);
-    out += ",\"reason\":" + js(r.equivalence->reason) + "}";
+    out += ",\"victim\":" + json_quote(r.equivalence->victim_response);
+    out += ",\"other\":" + json_quote(r.equivalence->other_response);
+    out += ",\"reason\":" + json_quote(r.equivalence->reason) + "}";
   }
   if (r.counterexample) {
     out += ",\"cex\":{\"loop\":" + std::to_string(r.counterexample->loop_start);
@@ -372,17 +121,17 @@ std::string encode_outcome(const PropertyOutcome& outcome) {
     for (std::size_t i = 0; i < r.counterexample->steps.size(); ++i) {
       const mc::TraceStep& step = r.counterexample->steps[i];
       if (i > 0) out += ',';
-      out += "{\"label\":" + js(step.label);
+      out += "{\"label\":" + json_quote(step.label);
       out += ",\"actor\":" + std::to_string(static_cast<int>(step.meta.actor));
       out += ",\"ckind\":" + std::to_string(static_cast<int>(step.meta.kind));
-      out += ",\"msg\":" + js(step.meta.message);
+      out += ",\"msg\":" + json_quote(step.meta.message);
       out += ",\"prov\":" + std::to_string(step.meta.provenance);
-      out += ",\"from\":" + js(step.meta.from_state);
-      out += ",\"to\":" + js(step.meta.to_state);
+      out += ",\"from\":" + json_quote(step.meta.from_state);
+      out += ",\"to\":" + json_quote(step.meta.to_state);
       out += ",\"atoms\":" +
-             js_array({step.meta.atoms.begin(), step.meta.atoms.end()});
+             json_quote_array({step.meta.atoms.begin(), step.meta.atoms.end()});
       out += ",\"acts\":" +
-             js_array({step.meta.actions.begin(), step.meta.actions.end()});
+             json_quote_array({step.meta.actions.begin(), step.meta.actions.end()});
       out += ",\"post\":[";
       for (std::size_t k = 0; k < step.post.size(); ++k) {
         if (k > 0) out += ',';
@@ -397,7 +146,7 @@ std::string encode_outcome(const PropertyOutcome& outcome) {
 }
 
 std::optional<PropertyOutcome> decode_outcome(std::string_view json) {
-  std::optional<Json> v = JsonParser(json).parse();
+  std::optional<Json> v = json_parse(json);
   if (!v || !v->is(Json::Type::kObject)) return std::nullopt;
   if (v->get_str("kind") != "outcome") return std::nullopt;
 

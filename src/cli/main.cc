@@ -33,6 +33,14 @@
 //       journal makes `--resume` continue byte-identically from any kill
 //       point, contradictory answers are arbitrated k-of-n, and watchdogs
 //       bound every attempt.
+//   diff <left> <right> [--json] [--dot] [--jobs <N>]
+//       Differential cross-implementation analysis (DESIGN.md §16): builds
+//       one FSM per side (profile:<name>, log:[<profile>:]<path>,
+//       learn:<name>, or remote:<host:port>), walks the synchronous product
+//       to enumerate divergences with minimal distinguishing sequences, and
+//       triages each against the 62-property catalog. Exit 0 when
+//       behaviorally equivalent, 1 on divergence, 3 when a side or the walk
+//       was inconclusive.
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -47,6 +55,9 @@
 #include "checker/prochecker.h"
 #include "checker/report.h"
 #include "common/strings.h"
+#include "diff/report_json.h"
+#include "diff/sources.h"
+#include "diff/triage.h"
 #include "common/thread_pool.h"
 #include "extractor/extractor.h"
 #include "instrument/source_instrumentor.h"
@@ -64,7 +75,8 @@ using namespace procheck;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: prochecker <instrument|conformance|extract|analyze|chaos|serve-sul|learn>"
+               "usage: prochecker"
+               " <instrument|conformance|extract|analyze|chaos|serve-sul|learn|diff>"
                " [options]\n"
                "  instrument <source-file> [--header <header-file>]\n"
                "  conformance --profile <cls|srsue|oai> [--log <file>] [--remote <host:port>]"
@@ -89,7 +101,14 @@ int usage() {
                "        (--batch 0 forces the per-symbol v2 protocol; default offers"
                " a 16-word batch;\n"
                "         --resume continues a killed run from its journal;"
-               " --arbitrate 0/0 disables k-of-n re-querying)\n");
+               " --arbitrate 0/0 disables k-of-n re-querying)\n"
+               "  diff <left> <right> [--json] [--dot] [--jobs <N>] [--psk <key>]"
+               " [--batch <N>]\n"
+               "       [--max-pairs <N>] [--max-states <N>]"
+               " [--deadline-per-property <S>] [--retries <N>]\n"
+               "       (sides: profile:<cls|srsue|oai>, log:[<profile>:]<path>,"
+               " learn:<name>, remote:<host:port>;\n"
+               "        exit 0 equivalent, 1 divergent, 3 inconclusive)\n");
   return 2;
 }
 
@@ -133,7 +152,7 @@ struct Args {
       if (starts_with(a, "--")) {
         std::string key = a.substr(2);
         if (key == "dot" || key == "basic" || key == "traces" || key == "dot-traces" ||
-            key == "recovery" || key == "stats") {
+            key == "recovery" || key == "stats" || key == "json") {
           args.options[key] = "1";
         } else if (i + 1 < argc) {
           args.options[key] = argv[++i];
@@ -247,16 +266,14 @@ int cmd_remote_conformance(const ue::StackProfile& profile, const std::string& e
   return report.failed() == 0 ? 0 : 1;
 }
 
-int cmd_conformance(const Args& args) {
-  auto profile = profile_by_name(args.get("profile"));
-  if (!profile) return usage();
+int cmd_conformance(ue::StackProfile profile, const Args& args) {
   if (args.has("remote")) {
     auto batch = parse_batch(args, net::kDefaultBatchWords);
     if (!batch) return bad_option("batch", args.get("batch"));
-    return cmd_remote_conformance(*profile, args.get("remote"), args.get("psk"), *batch);
+    return cmd_remote_conformance(profile, args.get("remote"), args.get("psk"), *batch);
   }
   instrument::TraceLogger trace;
-  testing::ConformanceReport report = testing::run_conformance(*profile, trace);
+  testing::ConformanceReport report = testing::run_conformance(profile, trace);
   for (const testing::TestResult& r : report.results) {
     std::printf("%-18s %s\n", r.id.c_str(), r.passed ? "PASS" : "FAIL");
   }
@@ -270,10 +287,7 @@ int cmd_conformance(const Args& args) {
   return 0;
 }
 
-int cmd_extract(const Args& args) {
-  auto profile = profile_by_name(args.get("profile"));
-  if (!profile) return usage();
-
+int cmd_extract(ue::StackProfile profile, const Args& args) {
   std::string log_text;
   if (args.has("log")) {
     auto text = read_file(args.get("log"));
@@ -284,7 +298,7 @@ int cmd_extract(const Args& args) {
     log_text = std::move(*text);
   } else {
     instrument::TraceLogger trace;
-    testing::run_conformance(*profile, trace);
+    testing::run_conformance(profile, trace);
     log_text = trace.text();
   }
 
@@ -299,8 +313,8 @@ int cmd_extract(const Args& args) {
   instrument::ParseStats parse_stats;
   std::vector<instrument::LogRecord> records = instrument::parse_log(log_text, &parse_stats);
   fsm::Fsm m = args.has("basic")
-                   ? extractor::extract_basic(records, extractor::ue_signatures(*profile), opts)
-                   : extractor::extract(records, extractor::ue_signatures(*profile), opts);
+                   ? extractor::extract_basic(records, extractor::ue_signatures(profile), opts)
+                   : extractor::extract(records, extractor::ue_signatures(profile), opts);
   if (args.has("recovery")) {
     std::fprintf(stderr,
                  "parse: %zu lines, %zu records, %zu skipped, %zu truncated\n"
@@ -314,7 +328,7 @@ int cmd_extract(const Args& args) {
     }
   }
   if (args.has("dot")) {
-    std::printf("%s", m.to_dot("ue_" + profile->name).c_str());
+    std::printf("%s", m.to_dot("ue_" + profile.name).c_str());
     return 0;
   }
   auto s = m.stats();
@@ -326,13 +340,11 @@ int cmd_extract(const Args& args) {
   return 0;
 }
 
-int cmd_analyze(const Args& args) {
-  auto profile = profile_by_name(args.get("profile"));
-  if (!profile) return usage();
+int cmd_analyze(ue::StackProfile profile, const Args& args) {
   if (args.has("freshness-limit")) {
     auto v = parse_u64(args.get("freshness-limit"));
     if (!v) return bad_option("freshness-limit", args.get("freshness-limit"));
-    profile->sqn_freshness_limit = *v;
+    profile.sqn_freshness_limit = *v;
   }
   checker::AnalysisOptions options;
   if (args.has("max-states")) {
@@ -380,7 +392,7 @@ int cmd_analyze(const Args& args) {
     options.resume = true;
   }
 
-  checker::ImplementationReport rep = checker::ProChecker::analyze(*profile, options);
+  checker::ImplementationReport rep = checker::ProChecker::analyze(profile, options);
   if (rep.aborted) {
     // Structured refusal (journal locked by a live run, or --resume against
     // an options-incompatible journal): no verdicts were produced.
@@ -420,9 +432,7 @@ int cmd_analyze(const Args& args) {
 
 std::sig_atomic_t volatile g_interrupted = 0;
 
-int cmd_serve_sul(const Args& args) {
-  auto profile = profile_by_name(args.get("profile"));
-  if (!profile) return usage();
+int cmd_serve_sul(ue::StackProfile profile, const Args& args) {
   net::SulServerOptions options;
   if (args.has("port")) {
     auto v = parse_u64(args.get("port"));
@@ -462,7 +472,7 @@ int cmd_serve_sul(const Args& args) {
     options.drain_deadline_seconds = *v;
   }
 
-  net::SulServer server(*profile, options);
+  net::SulServer server(profile, options);
   if (!server.start()) {
     const std::string why = server.start_error();
     std::fprintf(stderr, "cannot serve on %s:%u%s%s\n", options.bind_host.c_str(),
@@ -471,7 +481,7 @@ int cmd_serve_sul(const Args& args) {
   }
   std::fprintf(stderr,
                "serving %s SUL on %s:%u (%d sessions max%s; ctrl-c drains, twice stops)\n",
-               profile->name.c_str(), options.bind_host.c_str(), server.port(),
+               profile.name.c_str(), options.bind_host.c_str(), server.port(),
                options.max_sessions, options.psk.empty() ? "" : ", PSK auth");
   std::signal(SIGINT, [](int) { g_interrupted = g_interrupted + 1; });
   std::signal(SIGTERM, [](int) { g_interrupted = 2; });
@@ -498,11 +508,9 @@ int cmd_serve_sul(const Args& args) {
   return 0;
 }
 
-int cmd_learn(const Args& args) {
-  auto profile = profile_by_name(args.get("profile"));
-  if (!profile) return usage();
+int cmd_learn(ue::StackProfile profile, const Args& args) {
   learner::LearnSupervisorOptions sup;
-  sup.run_tag = profile->name;
+  sup.run_tag = profile.name;
   if (args.has("seed")) {
     auto v = parse_u64(args.get("seed"));
     if (!v) return bad_option("seed", args.get("seed"));
@@ -580,7 +588,7 @@ int cmd_learn(const Args& args) {
       std::fprintf(stderr, "server close: %s\n", reason.c_str());
     }
   } else {
-    learner::UeSul sul(*profile);
+    learner::UeSul sul(profile);
     run = learner::learn_supervised(sul, sup);
   }
 
@@ -627,7 +635,7 @@ int cmd_learn(const Args& args) {
   // regimes must reproduce the in-process output byte-for-byte.
   fsm::Fsm m = result.machine.to_fsm();
   if (args.has("dot")) {
-    std::printf("%s", m.to_dot("learned_" + profile->name).c_str());
+    std::printf("%s", m.to_dot("learned_" + profile.name).c_str());
   } else {
     auto s = m.stats();
     std::printf("learned Mealy machine: %d states, %zu transitions\n",
@@ -655,9 +663,7 @@ int cmd_learn(const Args& args) {
   return 0;
 }
 
-int cmd_chaos(const Args& args) {
-  auto profile = profile_by_name(args.get("profile"));
-  if (!profile) return usage();
+int cmd_chaos(ue::StackProfile profile, const Args& args) {
   double intensity = 0.1;
   if (args.has("intensity")) {
     auto v = parse_double(args.get("intensity"));
@@ -668,7 +674,7 @@ int cmd_chaos(const Args& args) {
   if (!jobs) return bad_option("jobs", args.get("jobs"));
 
   std::vector<testing::ChaosReport> reports =
-      testing::run_chaos_matrix(*profile, intensity, *jobs);
+      testing::run_chaos_matrix(profile, intensity, *jobs);
   bool all_explained = true;
   for (const testing::ChaosReport& rep : reports) {
     std::printf("%-14s %2d/%2d passed (baseline %2d/%2d), %zu channel faults, FSM %s%s\n",
@@ -685,6 +691,90 @@ int cmd_chaos(const Args& args) {
   return all_explained ? 0 : 1;
 }
 
+// prochecker diff <left> <right> (or --left/--right): the differential
+// cross-implementation pipeline (DESIGN.md §16). Exit 0 equivalent, 1
+// divergent, 3 inconclusive (a side degraded, or the product walk tripped a
+// budget); usage errors stay 2.
+int cmd_diff(const Args& args) {
+  std::string left_spec = args.get("left");
+  std::string right_spec = args.get("right");
+  if (left_spec.empty() && !args.positional.empty()) left_spec = args.positional[0];
+  if (right_spec.empty() && args.positional.size() > 1) right_spec = args.positional[1];
+  if (left_spec.empty() || right_spec.empty()) return usage();
+
+  diff::SourceOptions src;
+  src.psk = args.get("psk");
+  if (args.has("batch")) {
+    auto batch = parse_batch(args, -1);
+    if (!batch) return bad_option("batch", args.get("batch"));
+    src.batch_words = *batch;
+  }
+  if (args.has("seed")) {
+    auto v = parse_u64(args.get("seed"));
+    if (!v) return bad_option("seed", args.get("seed"));
+    src.learn_seed = *v;
+  }
+
+  diff::SideResult left = diff::resolve_side(left_spec, src);
+  diff::SideResult right = diff::resolve_side(right_spec, src);
+  for (const diff::SideResult* side : {&left, &right}) {
+    if (side->ok) continue;
+    std::fprintf(stderr, "error: %s\n", side->error.c_str());
+    // A degraded-but-well-formed side (remote down, learning inconclusive)
+    // is an inconclusive comparison, not a usage error.
+    return (left.inconclusive || right.inconclusive) ? 3 : usage();
+  }
+
+  diff::DiffOptions dopts;
+  if (args.has("max-pairs")) {
+    auto v = parse_u64(args.get("max-pairs"));
+    if (!v || *v == 0) return bad_option("max-pairs", args.get("max-pairs"));
+    dopts.max_product_pairs = static_cast<std::size_t>(*v);
+  }
+
+  diff::TriageOptions topts;
+  auto jobs = parse_jobs(args);
+  if (!jobs) return bad_option("jobs", args.get("jobs"));
+  topts.jobs = *jobs;
+  if (args.has("max-states")) {
+    auto v = parse_u64(args.get("max-states"));
+    if (!v || *v == 0) return bad_option("max-states", args.get("max-states"));
+    topts.max_states = static_cast<std::size_t>(*v);
+  }
+  if (args.has("deadline-per-property")) {
+    auto v = parse_double(args.get("deadline-per-property"));
+    if (!v || *v < 0) {
+      return bad_option("deadline-per-property", args.get("deadline-per-property"));
+    }
+    topts.deadline_per_property = *v;
+  }
+  if (args.has("retries")) {
+    auto v = parse_u64(args.get("retries"));
+    if (!v || *v > 16) return bad_option("retries", args.get("retries"));
+    topts.retries = static_cast<int>(*v);
+  }
+
+  diff::DiffReport report = diff::diff_machines(left.side, right.side, dopts);
+  diff::triage(report, left.side, right.side, topts);
+  if (args.has("json")) {
+    std::printf("%s\n", diff::encode_report(report).c_str());
+  } else if (args.has("dot")) {
+    std::printf("%s", report.to_dot().c_str());
+  } else {
+    std::fputs(report.render().c_str(), stdout);
+  }
+  return report.exit_code();
+}
+
+// Every profile-driven subcommand resolves --profile the same way; main()
+// does it once and hands the handler a concrete StackProfile (by value —
+// analyze patches mitigation knobs into its copy).
+int with_profile(const Args& args, int (*handler)(ue::StackProfile, const Args&)) {
+  auto profile = profile_by_name(args.get("profile"));
+  if (!profile) return usage();
+  return handler(std::move(*profile), args);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -692,11 +782,12 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   Args args = Args::parse(argc, argv, 2);
   if (cmd == "instrument") return cmd_instrument(args);
-  if (cmd == "conformance") return cmd_conformance(args);
-  if (cmd == "extract") return cmd_extract(args);
-  if (cmd == "analyze") return cmd_analyze(args);
-  if (cmd == "chaos") return cmd_chaos(args);
-  if (cmd == "serve-sul") return cmd_serve_sul(args);
-  if (cmd == "learn") return cmd_learn(args);
+  if (cmd == "conformance") return with_profile(args, cmd_conformance);
+  if (cmd == "extract") return with_profile(args, cmd_extract);
+  if (cmd == "analyze") return with_profile(args, cmd_analyze);
+  if (cmd == "chaos") return with_profile(args, cmd_chaos);
+  if (cmd == "serve-sul") return with_profile(args, cmd_serve_sul);
+  if (cmd == "learn") return with_profile(args, cmd_learn);
+  if (cmd == "diff") return cmd_diff(args);
   return usage();
 }

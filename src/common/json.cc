@@ -1,0 +1,236 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+namespace procheck {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse() {
+    std::optional<Json> v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    Json v;
+    if (literal("true")) {
+      v.type = Json::Type::kBool;
+      v.b = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.type = Json::Type::kBool;
+      v.b = false;
+      return v;
+    }
+    if (literal("null")) return v;
+    return std::nullopt;
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::optional<Json> key = string_value();
+      if (!key || !eat(':')) return std::nullopt;
+      std::optional<Json> val = value();
+      if (!val) return std::nullopt;
+      v.obj.emplace(std::move(key->s), std::move(*val));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      std::optional<Json> val = value();
+      if (!val) return std::nullopt;
+      v.arr.push_back(std::move(*val));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> string_value() {
+    if (!eat('"')) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          v.s += esc;
+          break;
+        case 'n':
+          v.s += '\n';
+          break;
+        case 't':
+          v.s += '\t';
+          break;
+        case 'r':
+          v.s += '\r';
+          break;
+        case 'b':
+          v.s += '\b';
+          break;
+        case 'f':
+          v.s += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            unsigned d;
+            if (h >= '0' && h <= '9') {
+              d = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              d = static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              d = static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+            code = code << 4 | d;
+          }
+          // The encoder only emits \u00XX (control bytes); anything wider
+          // is foreign input — substitute rather than mis-decode.
+          v.s += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0 || digits > 18) return std::nullopt;
+    Json v;
+    v.type = Json::Type::kInt;
+    v.i = 0;
+    bool neg = text_[start] == '-';
+    for (std::size_t k = start + (neg ? 1 : 0); k < pos_; ++k) {
+      v.i = v.i * 10 + (text_[k] - '0');
+    }
+    if (neg) v.i = -v.i;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> json_parse(std::string_view text) { return JsonParser(text).parse(); }
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_quote_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_quote(items[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace procheck

@@ -12,12 +12,6 @@ namespace {
 bool is_predicate_atom(const std::string& atom) { return contains(atom, "="); }
 bool is_trigger_atom(const std::string& atom) { return ends_with(atom, "_trigger"); }
 
-/// Atoms marking a transition that tolerates a stale NAS COUNT — the only
-/// transitions a *session-protected* replay can structurally drive.
-bool is_replay_tolerant_atom(const std::string& atom) {
-  return atom == "replay_accepted=1" || atom == "smc_replay=1" || atom == "counter_reset=1";
-}
-
 struct TransitionView {
   const fsm::Transition* t;
   ConditionSplit cond;
@@ -46,6 +40,21 @@ std::int32_t index_of(const std::vector<std::string>& alphabet, const std::strin
   return it == alphabet.end() ? -1 : static_cast<std::int32_t>(it - alphabet.begin());
 }
 
+/// Does this transition clear the receiver's security context?
+bool clears_context(const fsm::Transition& t, const std::string& message) {
+  if (t.conditions.count("ctx_deleted=1") > 0 || t.conditions.count("key_desync=1") > 0) {
+    return true;
+  }
+  return message == "detach_request" || message == "detach_accept" ||
+         message == "authentication_reject" || message == "service_reject";
+}
+
+}  // namespace
+
+bool is_replay_tolerant_atom(const std::string& atom) {
+  return atom == "replay_accepted=1" || atom == "smc_replay=1" || atom == "counter_reset=1";
+}
+
 /// Which provenance values a received-message transition structurally
 /// admits (crypto feasibility is the CPV's job, not encoded here).
 std::vector<std::int32_t> admissible_provenance(const fsm::Transition& t) {
@@ -71,17 +80,6 @@ std::vector<std::int32_t> admissible_provenance(const fsm::Transition& t) {
   }
   return out;
 }
-
-/// Does this transition clear the receiver's security context?
-bool clears_context(const fsm::Transition& t, const std::string& message) {
-  if (t.conditions.count("ctx_deleted=1") > 0 || t.conditions.count("key_desync=1") > 0) {
-    return true;
-  }
-  return message == "detach_request" || message == "detach_accept" ||
-         message == "authentication_reject" || message == "service_reject";
-}
-
-}  // namespace
 
 ConditionSplit split_conditions(const std::set<fsm::Atom>& conditions) {
   ConditionSplit out;

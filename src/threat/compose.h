@@ -100,6 +100,19 @@ struct ConditionSplit {
 };
 ConditionSplit split_conditions(const std::set<fsm::Atom>& conditions);
 
+/// Atoms marking a transition that tolerates a stale NAS COUNT — the only
+/// transitions a *session-protected* replay can structurally drive. These
+/// are the predicate atoms with structural meaning to the composer (see the
+/// header comment); the diff triage layer also treats them as implementation-
+/// deviation indicators.
+bool is_replay_tolerant_atom(const std::string& atom);
+
+/// Which provenance values a received-message transition structurally
+/// admits (crypto feasibility is the CPV's job, not encoded here). Exposed
+/// so the diff triage layer can rebuild the same per-provenance CommandMeta
+/// the composer emits when matching properties against diverging edges.
+std::vector<std::int32_t> admissible_provenance(const fsm::Transition& t);
+
 /// Builds IMP^μ from the two machines.
 ThreatModel compose(const fsm::Fsm& ue_fsm, const fsm::Fsm& mme_fsm,
                     const ComposeOptions& options = {});

@@ -87,6 +87,59 @@ TEST(Fsm, Stats) {
   EXPECT_EQ(s.actions, 2u);
 }
 
+TEST(Fsm, SameConditionsDifferentTargetIsNondeterministic) {
+  // Identical (from, conditions) and actions, but two successor states —
+  // the outcome comparison must catch target-only divergence too.
+  Fsm m;
+  m.set_initial("A");
+  m.add_transition(make("A", "B", {"m"}, {"a"}));
+  m.add_transition(make("A", "C", {"m"}, {"a"}));
+  EXPECT_EQ(m.transitions().size(), 2u);
+  EXPECT_FALSE(m.deterministic());
+}
+
+TEST(Fsm, StatsCountUnreachableStates) {
+  // stats() reports the declared 5-tuple, not the reachable core: islands
+  // and dead-end transitions still count.
+  Fsm m = two_state_machine();
+  m.add_state("island");
+  m.add_transition(make("orphan", "orphan2", {"ghost_msg"}, {"ghost_act"}));
+  Fsm::Stats s = m.stats();
+  EXPECT_EQ(s.states, 5u);
+  EXPECT_EQ(s.transitions, 3u);
+  EXPECT_EQ(s.conditions, 3u);
+  EXPECT_EQ(s.actions, 3u);
+  EXPECT_EQ(m.reachable(), (std::set<std::string>{"A", "B"}));
+}
+
+TEST(Fsm, EmptyMachineIsWellBehaved) {
+  // The ε machine: no states, no alphabets, no initial. Every query must
+  // degrade gracefully rather than crash or invent structure.
+  Fsm m;
+  Fsm::Stats s = m.stats();
+  EXPECT_EQ(s.states, 0u);
+  EXPECT_EQ(s.transitions, 0u);
+  EXPECT_EQ(s.conditions, 0u);
+  EXPECT_EQ(s.actions, 0u);
+  EXPECT_TRUE(m.deterministic());
+  EXPECT_TRUE(m.reachable().empty());
+  EXPECT_TRUE(m.from("anything").empty());
+  EXPECT_TRUE(contains(m.to_dot("empty"), "digraph empty"));
+}
+
+TEST(Fsm, EmptyConditionSetTransitions) {
+  // A transition with σ = ∅ (no condition atoms) is legal; two of them from
+  // the same state with different outcomes collide on the empty key.
+  Fsm m;
+  m.set_initial("A");
+  m.add_transition(make("A", "B", {}, {"a"}));
+  EXPECT_TRUE(m.deterministic());
+  EXPECT_EQ(m.reachable(), (std::set<std::string>{"A", "B"}));
+  EXPECT_TRUE(m.conditions().empty());
+  m.add_transition(make("A", "C", {}, {"a"}));
+  EXPECT_FALSE(m.deterministic());
+}
+
 TEST(Fsm, DotExport) {
   Fsm m = two_state_machine();
   std::string dot = m.to_dot("ue");

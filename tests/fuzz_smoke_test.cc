@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "diff/report_json.h"
 #include "instrument/trace_log.h"
 #include "learner/learn_supervisor.h"
 #include "learner/lstar.h"
@@ -868,6 +869,129 @@ TEST(FuzzSmoke, MutatedLearnJournalsResumeOrRefuseNeverLie) {
   EXPECT_GT(converged, 0u) << "the mutator starved the resume path of valid prefixes";
   std::printf("[fuzz] learn journals: %zu converged, %zu refused, %zu inconclusive\n", converged,
               refused, inconclusive);
+}
+
+// --- Diff-report JSON codec (DESIGN.md §16) ----------------------------------
+
+/// Small but shape-complete reports — every divergence kind, every finding
+/// class, non-ASCII and quote-bearing strings — the corpus the mutator
+/// starts from.
+std::vector<diff::DiffReport> diff_report_corpus() {
+  std::vector<diff::DiffReport> corpus;
+  corpus.push_back({});  // all-default empty report
+
+  diff::DiffReport equivalent;
+  equivalent.left_name = "profile:cls";
+  equivalent.right_name = "profile:cls";
+  equivalent.equivalent = true;
+  equivalent.product_pairs = 8;
+  equivalent.edges.push_back({"A | A", "B | B", "m1 & x=1"});
+  corpus.push_back(equivalent);
+
+  diff::DiffReport divergent;
+  divergent.left_name = "log:trace \"weird\" name.log";
+  divergent.right_name = "remote:127.0.0.1:4242";
+  divergent.product_pairs = 3;
+  int i = 0;
+  for (diff::DivergenceKind kind :
+       {diff::DivergenceKind::kOutputMismatch, diff::DivergenceKind::kMissingLeft,
+        diff::DivergenceKind::kMissingRight, diff::DivergenceKind::kExtraStateLeft,
+        diff::DivergenceKind::kExtraStateRight}) {
+    diff::Divergence d;
+    d.kind = kind;
+    d.input = "attach_accept & mac_valid=" + std::to_string(i++);
+    d.sequence = {"power_on_trigger", d.input};
+    d.left_state = "EMM_REGISTERED_INITIATED";
+    d.right_state = "EMM_REGISTERED_INITIATED";
+    d.left_edge = "A --[m / a]--> B";
+    d.right_edge = "-";
+    d.properties = {"S05", "P03"};
+    divergent.divergences.push_back(std::move(d));
+  }
+  for (diff::Finding::Class cls :
+       {diff::Finding::Class::kDivergent, diff::Finding::Class::kCommon,
+        diff::Finding::Class::kInconclusive}) {
+    diff::Finding f;
+    f.property_id = "S05";
+    f.attack_id = "I1";
+    f.cls = cls;
+    f.violates = cls == diff::Finding::Class::kCommon ? "both" : "right";
+    f.left_status = "verified";
+    f.right_status = "attack";
+    f.note = cls == diff::Finding::Class::kInconclusive ? "watchdog élapsed\n" : "";
+    divergent.findings.push_back(std::move(f));
+  }
+  corpus.push_back(divergent);
+
+  diff::DiffReport inconclusive;
+  inconclusive.left_name = "l";
+  inconclusive.right_name = "r";
+  inconclusive.inconclusive = true;
+  inconclusive.note = "product walk capped at 65536 pairs; extra-state analysis skipped";
+  corpus.push_back(inconclusive);
+  return corpus;
+}
+
+/// Structure-aware mutation: half the time raw byte mutation, half the time
+/// a token-level edit that keeps the document JSON-shaped — swapping kind /
+/// class / status tokens, twiddling digits, or duplicating a key — to reach
+/// the deep validation paths the byte mutator rarely survives to.
+std::string mutate_diff_json(const std::string& input, Rng& rng) {
+  if (rng.next_below(2) == 0) return mutate_text(input, rng);
+  std::string out = input;
+  static const std::vector<std::pair<std::string, std::string>> swaps = {
+      {"output-mismatch", "missing-left"},
+      {"missing-right", "extra-state-left"},
+      {"extra-state-right", "sideways"},  // unknown kind: must reject whole doc
+      {"divergent", "common"},
+      {"inconclusive", "divergent"},
+      {"\"equivalent\":true", "\"equivalent\":false"},
+      {"\"pairs\":", "\"pairs\":-"},
+      {"\"sequence\":[", "\"sequence\":[1,"},  // non-string element
+      {"\"diff\":1", "\"diff\":2"},
+      {"\"left\":", "\"Left\":"},
+      {"},{", "},{},{"},  // inject an empty object into an array
+  };
+  const auto& [from, to] = swaps[rng.next_below(swaps.size())];
+  const std::size_t at = out.find(from);
+  if (at != std::string::npos) out.replace(at, from.size(), to);
+  return out;
+}
+
+TEST(FuzzSmoke, DiffReportCodecTotalAndRoundTrips) {
+  Rng rng(0xD1FFC0DECULL);
+  std::vector<diff::DiffReport> corpus = diff_report_corpus();
+  // The corpus itself must round-trip exactly before any mutation.
+  for (const diff::DiffReport& seed : corpus) {
+    std::optional<diff::DiffReport> back = diff::decode_report(diff::encode_report(seed));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(*back, seed);
+  }
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 3000; ++round) {
+    std::string text = diff::encode_report(corpus[rng.next_below(corpus.size())]);
+    std::uint64_t depth = 1 + rng.next_below(3);
+    for (std::uint64_t d = 0; d < depth; ++d) text = mutate_diff_json(text, rng);
+
+    // Decode is total: reject (nullopt) or a value — never a crash.
+    std::optional<diff::DiffReport> decoded = diff::decode_report(text);
+    if (!decoded) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    // Decode–encode–decode fixpoint: whatever the decoder accepted must
+    // survive a round trip exactly, or --json output drifts per hop.
+    const std::string re = diff::encode_report(*decoded);
+    std::optional<diff::DiffReport> again = diff::decode_report(re);
+    ASSERT_TRUE(again.has_value()) << "re-encode rejected";
+    EXPECT_EQ(*again, *decoded);
+    EXPECT_EQ(diff::encode_report(*again), re);
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+  std::printf("[fuzz] diff report: %zu accepted, %zu rejected\n", accepted, rejected);
 }
 
 }  // namespace
